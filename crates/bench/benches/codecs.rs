@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks: encoding throughput of every scheme.
+//!
+//! These are performance-regression guards for the harness itself — the
+//! figure sweeps encode hundreds of millions of words, so codec
+//! throughput directly bounds experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::schemes::Scheme;
+use bustrace::generators::{TraceGenerator, WorkingSetGen};
+use bustrace::{Trace, Width};
+
+fn workload(n: usize) -> Trace {
+    WorkingSetGen::new(Width::W32, 32, 0.8, 0.01, 7).generate(n)
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let trace = workload(50_000);
+    let mut group = c.benchmark_group("encode_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let schemes = [
+        ("identity-baseline", None),
+        ("window8", Some(Scheme::Window { entries: 8 })),
+        ("window64", Some(Scheme::Window { entries: 64 })),
+        ("stride8", Some(Scheme::Stride { strides: 8 })),
+        ("stride32", Some(Scheme::Stride { strides: 32 })),
+        (
+            "context-value-28-8",
+            Some(Scheme::ContextValue {
+                table: 28,
+                shift: 8,
+                divide: 4096,
+            }),
+        ),
+        (
+            "context-transition-28-8",
+            Some(Scheme::ContextTransition {
+                table: 28,
+                shift: 8,
+                divide: 4096,
+            }),
+        ),
+        (
+            "bus-invert",
+            Some(Scheme::Inversion {
+                chunks: 1,
+                design_lambda: 0.0,
+            }),
+        ),
+        (
+            "inversion-64pat",
+            Some(Scheme::Inversion {
+                chunks: 6,
+                design_lambda: 1.0,
+            }),
+        ),
+    ];
+    for (name, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, tr| {
+            b.iter(|| match scheme {
+                Some(s) => s.activity(tr).tau(),
+                None => bench::schemes::baseline_activity(tr).tau(),
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_activity_counting(c: &mut Criterion) {
+    let trace = workload(100_000);
+    let mut group = c.benchmark_group("activity_counting");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("tau_kappa", |b| {
+        b.iter(|| {
+            let mut a = buscoding::Activity::new(32);
+            for v in trace.iter() {
+                a.step(v);
+            }
+            (a.tau(), a.kappa())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codecs, bench_activity_counting
+}
+criterion_main!(benches);

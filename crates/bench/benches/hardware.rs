@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: cycle-level hardware models and the
+//! kernel simulator — the other two hot paths of the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bustrace::generators::{TraceGenerator, WorkingSetGen};
+use bustrace::{Trace, Width};
+use hwmodel::{ContextHardware, ContextHwConfig, WindowHardware};
+use simcpu::{Benchmark, BusKind};
+
+fn workload(n: usize) -> Trace {
+    WorkingSetGen::new(Width::W32, 32, 0.8, 0.01, 7).generate(n)
+}
+
+fn bench_hardware_models(c: &mut Criterion) {
+    let trace = workload(50_000);
+    let mut group = c.benchmark_group("hardware_models");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("window8", |b| {
+        b.iter(|| {
+            let mut hw = WindowHardware::new(8);
+            for v in trace.iter() {
+                hw.present(v);
+            }
+            hw.ops().total_ops()
+        })
+    });
+    for table in [16usize, 28, 64] {
+        group.bench_with_input(BenchmarkId::new("context", table), &table, |b, &table| {
+            b.iter(|| {
+                let mut hw = ContextHardware::new(ContextHwConfig {
+                    table,
+                    shift: 8,
+                    divide_period: 4096,
+                    promote_threshold: 2,
+                });
+                for v in trace.iter() {
+                    hw.present(v);
+                }
+                hw.ops().total_ops()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_simulation(c: &mut Criterion) {
+    use simcpu::OooConfig;
+    let mut group = c.benchmark_group("kernel_simulation");
+    group.sample_size(10);
+    for b in [Benchmark::Gcc, Benchmark::Swim] {
+        group.throughput(Throughput::Elements(20_000));
+        group.bench_with_input(
+            BenchmarkId::new("register_trace", b.name()),
+            &b,
+            |bench, &b| bench.iter(|| b.trace(BusKind::Register, 20_000, 1).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("register_trace_ooo", b.name()),
+            &b,
+            |bench, &b| {
+                bench.iter(|| {
+                    b.trace_ooo(BusKind::Register, 20_000, 1, OooConfig::default())
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_hardware_models, bench_kernel_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! `report` — assemble `results/*.csv` into a single Markdown results
+//! browser (`results/REPORT.md`), with embedded charts where they exist.
+//!
+//! ```text
+//! report [results-dir]
+//! ```
+//!
+//! Run `repro all` first; this tool only formats what is on disk.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::experiments::registry;
+
+const MAX_ROWS: usize = 14;
+
+fn main() -> ExitCode {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| "results".into());
+    if !dir.is_dir() {
+        eprintln!(
+            "no results directory at {} (run `repro all` first)",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# Results report\n");
+    let _ = writeln!(
+        out,
+        "Auto-generated from `{}/*.csv` by `cargo run -p bench --bin report`.",
+        dir.display()
+    );
+    let _ = writeln!(
+        out,
+        "See EXPERIMENTS.md for the curated paper-vs-measured analysis.\n"
+    );
+
+    let mut rendered = 0usize;
+    for e in registry() {
+        let csv = dir.join(format!("{}.csv", e.id));
+        let Ok(content) = std::fs::read_to_string(&csv) else {
+            continue;
+        };
+        rendered += 1;
+        let _ = writeln!(out, "## {} — {}\n", e.id, e.title);
+        if dir.join("plots").join(format!("{}.svg", e.id)).is_file() {
+            let _ = writeln!(out, "![{}](plots/{}.svg)\n", e.id, e.id);
+        }
+        render_csv_table(&mut out, e.id, &content);
+        out.push('\n');
+    }
+    if rendered == 0 {
+        eprintln!(
+            "no experiment CSVs found in {} (run `repro all` first)",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let target = dir.join("REPORT.md");
+    if let Err(err) = std::fs::write(&target, &out) {
+        eprintln!("could not write {}: {err}", target.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({rendered} experiments)", target.display());
+    ExitCode::SUCCESS
+}
+
+fn render_csv_table(out: &mut String, id: &str, csv: &str) {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return;
+    };
+    let cols = header.split(',').count();
+    let _ = writeln!(
+        out,
+        "| {} |",
+        header.split(',').collect::<Vec<_>>().join(" | ")
+    );
+    let _ = writeln!(out, "|{}", "---|".repeat(cols));
+    let rows: Vec<&str> = lines.collect();
+    for row in rows.iter().take(MAX_ROWS) {
+        let _ = writeln!(
+            out,
+            "| {} |",
+            row.split(',').collect::<Vec<_>>().join(" | ")
+        );
+    }
+    if rows.len() > MAX_ROWS {
+        let _ = writeln!(
+            out,
+            "\n*… {} more rows in [{id}.csv]({id}.csv).*",
+            rows.len() - MAX_ROWS,
+        );
+    }
+}

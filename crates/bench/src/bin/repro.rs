@@ -1,0 +1,89 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show every experiment
+//! repro fig18 table3 ...     # run selected experiments
+//! repro all                  # run everything
+//! ```
+//!
+//! Environment: `REPRO_VALUES` (trace length, default 200000),
+//! `REPRO_SEED` (default 1), `REPRO_OUT` (CSV directory, default
+//! `results/`). Figure-class experiments additionally render SVG charts
+//! into `<out>/plots/`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::experiments::{registry, Experiment};
+use bench::Ctx;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage(&experiments);
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "list" {
+        for e in &experiments {
+            println!("{:<22} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Experiment> = if args.iter().any(|a| a == "all") {
+        experiments.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match experiments.iter().find(|e| e.id == a.as_str()) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment `{a}` (try `repro list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let ctx = Ctx::from_env();
+    eprintln!(
+        "running {} experiment(s): {} values/trace, seed {}, output {}",
+        selected.len(),
+        ctx.values,
+        ctx.seed,
+        ctx.out_dir.display()
+    );
+    for e in selected {
+        let start = Instant::now();
+        let tables = (e.run)(&ctx);
+        for table in &tables {
+            print!("{}", table.to_console());
+            if let Err(err) = table.write_csv(&ctx.out_dir) {
+                eprintln!("warning: could not write {}.csv: {err}", table.id);
+            }
+            if let Some(spec) = bench::plot::spec_for(&table.id) {
+                if let Some(svg) = bench::plot::chart_table(table, &spec) {
+                    let dir = ctx.out_dir.join("plots");
+                    let path = dir.join(format!("{}.svg", table.id));
+                    let write =
+                        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, svg));
+                    if let Err(err) = write {
+                        eprintln!("warning: could not write {}: {err}", path.display());
+                    }
+                }
+            }
+        }
+        eprintln!("[{}] done in {:.1}s", e.id, start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage(experiments: &[Experiment]) {
+    println!("usage: repro <experiment>... | all | list");
+    println!("experiments:");
+    for e in experiments {
+        println!("  {:<22} {}", e.id, e.title);
+    }
+}

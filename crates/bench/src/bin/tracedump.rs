@@ -1,0 +1,68 @@
+//! `tracedump` — export kernel bus traces for external analysis.
+//!
+//! ```text
+//! tracedump <benchmark> <register|memory|address> <values> [seed] > out.trace
+//! tracedump --stats <benchmark> <bus> <values> [seed]
+//! ```
+//!
+//! Output is the `bustrace` text format (hex words, one per line).
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use bustrace::io::write_trace;
+use bustrace::stats::{repeat_fraction, ValueCensus};
+use simcpu::{Benchmark, BusKind};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_only = args.first().map(String::as_str) == Some("--stats");
+    if stats_only {
+        args.remove(0);
+    }
+    if args.len() < 3 {
+        eprintln!(
+            "usage: tracedump [--stats] <benchmark> <register|memory|address> <values> [seed]"
+        );
+        eprintln!("benchmarks: {}", Benchmark::ALL.map(|b| b.name()).join(" "));
+        return ExitCode::FAILURE;
+    }
+    let Some(benchmark) = Benchmark::from_name(&args[0]) else {
+        eprintln!("unknown benchmark `{}`", args[0]);
+        return ExitCode::FAILURE;
+    };
+    let bus = match args[1].as_str() {
+        "register" => BusKind::Register,
+        "memory" => BusKind::Memory,
+        "address" => BusKind::Address,
+        other => {
+            eprintln!("unknown bus `{other}` (register|memory|address)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Ok(values) = args[2].parse::<usize>() else {
+        eprintln!("bad value count `{}`", args[2]);
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let trace = benchmark.trace(bus, values, seed);
+    if stats_only {
+        let census = ValueCensus::of(&trace);
+        println!("workload:        {benchmark}/{bus}");
+        println!("values:          {}", trace.len());
+        println!("unique values:   {}", census.unique_count());
+        println!("entropy (bits):  {:.2}", census.entropy_bits());
+        println!("top-16 coverage: {:.3}", census.coverage(16));
+        println!("repeat fraction: {:.3}", repeat_fraction(&trace));
+        return ExitCode::SUCCESS;
+    }
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = write_trace(&trace, &mut lock) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _ = lock.flush();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,249 @@
+//! Section 5.4.3 reproductions: total-energy curves (Figures 35–36),
+//! scaling trends (Figures 37–38), median crossover lengths (Table 3),
+//! and the Section 7 headline number.
+
+use buscoding::Activity;
+use hwmodel::crossover::{median, CodingOutcome};
+use simcpu::{Benchmark, BusKind};
+use wiremodel::{Technology, WireStyle};
+
+use crate::experiments::par_map;
+use crate::report::{f, opt_mm, Table};
+use crate::schemes::{baseline_activity, window_outcome, Scheme};
+use crate::workloads::Workload;
+use crate::Ctx;
+
+const LENGTHS: [f64; 8] = [1.0, 3.0, 5.0, 8.0, 11.5, 15.0, 20.0, 30.0];
+
+/// One benchmark's Window-design outcome at a given entry count and
+/// technology.
+fn outcomes(
+    ctx: &Ctx,
+    bus: BusKind,
+    entries: usize,
+    tech: Technology,
+    benches: &[Benchmark],
+) -> Vec<(Benchmark, CodingOutcome)> {
+    let values = ctx.values;
+    let seed = ctx.seed;
+    par_map(benches.to_vec(), move |b| {
+        let trace = Workload::Bench(b, bus).trace(values, seed);
+        (b, window_outcome(&trace, entries, tech))
+    })
+}
+
+fn total_energy_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
+    let mut t = Table::new(id, title, &["workload", "length_mm", "normalized_energy"]);
+    let tech = Technology::tech_013();
+    for (b, outcome) in outcomes(ctx, bus, 8, tech, &Benchmark::ALL) {
+        let curve = outcome
+            .normalized_curve(tech, WireStyle::Repeated, &LENGTHS)
+            .expect("valid lengths");
+        for (l, e) in curve {
+            t.push(vec![format!("{b}/{bus}"), f(l, 1), f(e, 4)]);
+        }
+    }
+    t
+}
+
+/// Figure 35: Window-8 total energy normalized to the un-encoded bus,
+/// register bus, 0.13 µm.
+pub fn fig35(ctx: &Ctx) -> Vec<Table> {
+    vec![total_energy_figure(
+        "fig35",
+        "Window-8 total energy vs wire length, register bus, 0.13um",
+        ctx,
+        BusKind::Register,
+    )]
+}
+
+/// Figure 36: same on the memory bus.
+pub fn fig36(ctx: &Ctx) -> Vec<Table> {
+    vec![total_energy_figure(
+        "fig36",
+        "Window-8 total energy vs wire length, memory bus, 0.13um",
+        ctx,
+        BusKind::Memory,
+    )]
+}
+
+/// Median normalized-energy curves per technology and entry count, split
+/// into SPECint and SPECfp (Figures 37–38).
+fn trend_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "technology",
+            "entries",
+            "suite",
+            "length_mm",
+            "median_normalized_energy",
+        ],
+    );
+    for tech in Technology::all() {
+        for &entries in &[8usize, 16] {
+            let all = outcomes(ctx, bus, entries, tech, &Benchmark::ALL);
+            for (suite, filter) in [("int", false), ("fp", true)]
+                .map(|(s, fp)| (s, move |b: &Benchmark| b.is_fp() == fp))
+            {
+                for &l in &LENGTHS {
+                    let wire =
+                        wiremodel::Wire::new(tech, WireStyle::Repeated, l).expect("valid length");
+                    let energies: Vec<f64> = all
+                        .iter()
+                        .filter(|(b, _)| filter(b))
+                        .map(|(_, o)| o.normalized_total_energy(&wire))
+                        .collect();
+                    let m = median(energies).expect("non-empty suite");
+                    t.push(vec![
+                        tech.kind.to_string(),
+                        entries.to_string(),
+                        suite.into(),
+                        f(l, 1),
+                        f(m, 4),
+                    ]);
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Figure 37: scaling trends on the register bus.
+pub fn fig37(ctx: &Ctx) -> Vec<Table> {
+    vec![trend_figure(
+        "fig37",
+        "Median normalized energy vs length, register bus (tech x entries x suite)",
+        ctx,
+        BusKind::Register,
+    )]
+}
+
+/// Figure 38: scaling trends on the memory bus.
+pub fn fig38(ctx: &Ctx) -> Vec<Table> {
+    vec![trend_figure(
+        "fig38",
+        "Median normalized energy vs length, memory bus (tech x entries x suite)",
+        ctx,
+        BusKind::Memory,
+    )]
+}
+
+/// Table 3: median crossover lengths for the Window design on the
+/// register bus.
+pub fn table3(ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "table3",
+        "Median crossover lengths, register bus (paper: 11.5mm @0.13um/8e ... 2.7mm @0.07um/16e)",
+        &["technology", "entries", "specint_mm", "specfp_mm", "all_mm"],
+    );
+    for tech in Technology::all() {
+        for &entries in &[8usize, 16] {
+            let all = outcomes(ctx, BusKind::Register, entries, tech, &Benchmark::ALL);
+            let xover = |filter: &dyn Fn(&Benchmark) -> bool| -> Option<f64> {
+                let xs: Vec<f64> = all
+                    .iter()
+                    .filter(|(b, _)| filter(b))
+                    .filter_map(|(_, o)| o.crossover_mm(tech, WireStyle::Repeated))
+                    .collect();
+                median(xs)
+            };
+            t.push(vec![
+                tech.kind.to_string(),
+                entries.to_string(),
+                opt_mm(xover(&|b| !b.is_fp())),
+                opt_mm(xover(&|b| b.is_fp())),
+                opt_mm(xover(&|_| true)),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// The Section 7 headline: average percent of transitions removed on
+/// the register bus (paper: 36%).
+pub fn headline(ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "headline",
+        "Average % of weighted transitions removed, register bus (paper headline: 36%)",
+        &["scheme", "average_percent_removed"],
+    );
+    let schemes = [
+        Scheme::Window { entries: 8 },
+        Scheme::Window { entries: 16 },
+        Scheme::ContextValue {
+            table: 28,
+            shift: 8,
+            divide: 4096,
+        },
+    ];
+    let values = ctx.values;
+    let seed = ctx.seed;
+    let per_bench: Vec<Vec<f64>> = par_map(Benchmark::ALL.to_vec(), move |b| {
+        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+        let baseline = baseline_activity(&trace);
+        schemes
+            .iter()
+            .map(|s| {
+                let coded = s.activity(&trace);
+                buscoding::percent_energy_removed(&coded, &baseline, 1.0)
+            })
+            .collect()
+    });
+    for (i, scheme) in schemes.iter().enumerate() {
+        let avg: f64 = per_bench.iter().map(|row| row[i]).sum::<f64>() / per_bench.len() as f64;
+        t.push(vec![scheme.name(), f(avg, 1)]);
+    }
+    vec![t]
+}
+
+/// Shared check used by trend figures' tests and `paper_claims`.
+pub fn activity_ratio(coded: &Activity, baseline: &Activity) -> f64 {
+    coded.weighted(1.0) / baseline.weighted(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ctx {
+        Ctx {
+            values: 15_000,
+            ..Ctx::default()
+        }
+    }
+
+    #[test]
+    fn fig35_curves_decay_with_length() {
+        let t = &fig35(&tiny())[0];
+        // li is this reproduction's friendliest register-bus trace (the
+        // role swim plays in the paper).
+        let li: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "li/register")
+            .map(|r| r[2].parse().unwrap())
+            .collect();
+        assert_eq!(li.len(), LENGTHS.len());
+        assert!(li.windows(2).all(|w| w[0] >= w[1]), "{li:?}");
+        // At 30mm the friendly trace must be saving energy.
+        assert!(*li.last().unwrap() < 1.0, "{li:?}");
+    }
+
+    #[test]
+    fn table3_crossovers_shrink_with_technology() {
+        let t = &table3(&tiny())[0];
+        let all_col = |tech: &str, entries: &str| -> Option<f64> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == tech && r[1] == entries)
+                .and_then(|r| r[4].parse().ok())
+        };
+        if let (Some(l13), Some(l07)) = (all_col("0.13um", "8"), all_col("0.07um", "8")) {
+            assert!(l07 < l13, "crossover must shrink: {l13} -> {l07}");
+        } else {
+            panic!("crossover columns missing: {:?}", t.rows);
+        }
+    }
+}

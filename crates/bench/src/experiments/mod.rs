@@ -1,0 +1,281 @@
+//! The experiment registry: one entry per paper table/figure plus the
+//! ablations DESIGN.md calls out.
+
+pub mod ablations;
+pub mod circuits;
+pub mod coding;
+pub mod crossover;
+pub mod extensions;
+pub mod traces;
+pub mod wires;
+
+use crate::report::Table;
+use crate::Ctx;
+
+/// A reproducible experiment.
+pub struct Experiment {
+    /// Identifier, e.g. `fig18` or `table3`.
+    pub id: &'static str,
+    /// What it regenerates.
+    pub title: &'static str,
+    /// Produces the result table(s).
+    pub run: fn(&Ctx) -> Vec<Table>,
+}
+
+/// Every experiment, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Effective lambda per technology (Table 1)",
+            run: wires::table1,
+        },
+        Experiment {
+            id: "fig5",
+            title: "Wire energy vs length (Figure 5)",
+            run: wires::fig5,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Wire delay vs length (Figure 6)",
+            run: wires::fig6,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Unique-value CDF (Figure 7)",
+            run: traces::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Window uniqueness (Figure 8)",
+            run: traces::fig8,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Inversion coder vs actual lambda (Figure 15)",
+            run: coding::fig15,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Strided predictor, memory bus (Figure 16)",
+            run: coding::fig16,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Strided predictor, register bus (Figure 17)",
+            run: coding::fig17,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Window transcoder, memory bus (Figure 18)",
+            run: coding::fig18,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Window transcoder, register bus (Figure 19)",
+            run: coding::fig19,
+        },
+        Experiment {
+            id: "fig20",
+            title: "Context (transition), memory bus (Figure 20)",
+            run: coding::fig20,
+        },
+        Experiment {
+            id: "fig21",
+            title: "Context (transition), register bus (Figure 21)",
+            run: coding::fig21,
+        },
+        Experiment {
+            id: "fig22",
+            title: "Context (value), memory bus (Figure 22)",
+            run: coding::fig22,
+        },
+        Experiment {
+            id: "fig23",
+            title: "Context (value), register bus (Figure 23)",
+            run: coding::fig23,
+        },
+        Experiment {
+            id: "fig24",
+            title: "Context vs shift-register size (Figure 24)",
+            run: coding::fig24,
+        },
+        Experiment {
+            id: "fig25",
+            title: "Context vs counter divide period (Figure 25)",
+            run: coding::fig25,
+        },
+        Experiment {
+            id: "fig26",
+            title: "Transcoder energy budget (Figure 26)",
+            run: circuits::fig26,
+        },
+        Experiment {
+            id: "table2",
+            title: "Transcoder circuit characteristics (Table 2)",
+            run: circuits::table2,
+        },
+        Experiment {
+            id: "fig35",
+            title: "Window total energy vs length, register bus (Figure 35)",
+            run: crossover::fig35,
+        },
+        Experiment {
+            id: "fig36",
+            title: "Window total energy vs length, memory bus (Figure 36)",
+            run: crossover::fig36,
+        },
+        Experiment {
+            id: "fig37",
+            title: "Crossover trends, register bus (Figure 37)",
+            run: crossover::fig37,
+        },
+        Experiment {
+            id: "fig38",
+            title: "Crossover trends, memory bus (Figure 38)",
+            run: crossover::fig38,
+        },
+        Experiment {
+            id: "table3",
+            title: "Median crossover lengths (Table 3)",
+            run: crossover::table3,
+        },
+        Experiment {
+            id: "headline",
+            title: "Average transition reduction on the register bus (Section 7)",
+            run: crossover::headline,
+        },
+        Experiment {
+            id: "ablation-sort",
+            title: "Pending-bit sort vs ideal re-sort",
+            run: ablations::sort,
+        },
+        Experiment {
+            id: "ablation-precharge",
+            title: "Selective precharge vs full matching",
+            run: ablations::precharge,
+        },
+        Experiment {
+            id: "ablation-counter",
+            title: "Johnson vs binary counters",
+            run: ablations::counter,
+        },
+        Experiment {
+            id: "ablation-last",
+            title: "LAST-value code-0 contribution",
+            run: ablations::last_value,
+        },
+        Experiment {
+            id: "ablation-invert",
+            title: "Inverted-miss fallback contribution",
+            run: extensions::miss_policy,
+        },
+        Experiment {
+            id: "ext-varlen",
+            title: "Variable-length coding study (Section 6 future work)",
+            run: extensions::varlen,
+        },
+        Experiment {
+            id: "ext-width",
+            title: "Bus-width sensitivity",
+            run: extensions::width,
+        },
+        Experiment {
+            id: "ext-spatial",
+            title: "Spatial one-hot bound",
+            run: extensions::spatial_bound,
+        },
+        Experiment {
+            id: "ext-address",
+            title: "Address-bus coding study",
+            run: extensions::address_bus,
+        },
+        Experiment {
+            id: "ablation-timing",
+            title: "Re-timing model sensitivity",
+            run: extensions::timing_model,
+        },
+        Experiment {
+            id: "ext-wirehist",
+            title: "Per-wire transition histogram",
+            run: extensions::wire_histogram,
+        },
+        Experiment {
+            id: "ext-predictors",
+            title: "Predictor-family head-to-head",
+            run: extensions::predictors,
+        },
+        Experiment {
+            id: "ext-timing",
+            title: "Timing feasibility: reach within one cycle",
+            run: extensions::timing_budget,
+        },
+        Experiment {
+            id: "ext-desync",
+            title: "Bit-flip desync robustness",
+            run: extensions::desync,
+        },
+        Experiment {
+            id: "ext-reorder",
+            title: "Wire-order (coupling) optimization",
+            run: extensions::wire_reorder,
+        },
+        Experiment {
+            id: "ext-kernels",
+            title: "Kernel execution characteristics",
+            run: extensions::kernel_stats,
+        },
+    ]
+}
+
+/// Runs closures over items on worker threads, preserving order.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = queue.lock().expect("queue").pop();
+                let Some((i, t)) = item else { break };
+                let r = f(t);
+                slots.lock().expect("slots")[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(n >= 24, "expected at least 24 experiments, found {n}");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

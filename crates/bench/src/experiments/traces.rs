@@ -1,0 +1,115 @@
+//! Section 4.2 reproductions: the trace-statistics figures (7 and 8)
+//! that motivate the dictionary-style coders.
+
+use bustrace::stats::{window_uniqueness_series, ValueCensus};
+use simcpu::{Benchmark, BusKind};
+
+use crate::experiments::par_map;
+use crate::report::{f, Table};
+use crate::Ctx;
+
+/// The four benchmarks the paper plots in Figures 7 and 8.
+fn figure_benchmarks() -> [Benchmark; 4] {
+    [
+        Benchmark::Gcc,
+        Benchmark::Su2cor,
+        Benchmark::Swim,
+        Benchmark::Turb3d,
+    ]
+}
+
+/// Figure 7: CDF of the most frequent unique values.
+pub fn fig7(ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig7",
+        "Fraction of trace covered by the k most frequent unique values",
+        &["workload", "k", "coverage"],
+    );
+    let mut jobs = Vec::new();
+    for b in figure_benchmarks() {
+        for bus in [BusKind::Register, BusKind::Memory] {
+            jobs.push((b, bus));
+        }
+    }
+    let results = par_map(jobs, |(b, bus)| {
+        let trace = b.trace(bus, ctx.values, ctx.seed);
+        let census = ValueCensus::of(&trace);
+        (format!("{b}/{bus}"), census.cdf_series())
+    });
+    for (name, series) in results {
+        for (k, cov) in series {
+            t.push(vec![name.clone(), k.to_string(), f(cov, 4)]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 8: average fraction of values unique within a window.
+pub fn fig8(ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig8",
+        "Average fraction of unique values within a window vs window size",
+        &["workload", "window", "unique_fraction"],
+    );
+    let mut jobs = Vec::new();
+    for b in figure_benchmarks() {
+        for bus in [BusKind::Register, BusKind::Memory] {
+            jobs.push((b, bus));
+        }
+    }
+    let results = par_map(jobs, |(b, bus)| {
+        let trace = b.trace(bus, ctx.values, ctx.seed);
+        (format!("{b}/{bus}"), window_uniqueness_series(&trace))
+    });
+    for (name, series) in results {
+        for (w, frac) in series {
+            t.push(vec![name.clone(), w.to_string(), f(frac, 4)]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctx() -> Ctx {
+        Ctx {
+            values: 20_000,
+            ..Ctx::default()
+        }
+    }
+
+    #[test]
+    fn fig7_coverage_needs_many_values() {
+        // The paper's point: no tiny unique-value set covers the trace.
+        let t = &fig7(&small_ctx())[0];
+        for b in figure_benchmarks() {
+            let name = format!("{b}/register");
+            let cov_at_8: f64 = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == name)
+                .find(|r| r[1] == "8")
+                .map(|r| r[2].parse().unwrap())
+                .expect("k=8 present");
+            assert!(cov_at_8 < 0.9, "{name}: 8 values already cover {cov_at_8}");
+        }
+    }
+
+    #[test]
+    fn fig8_uniqueness_falls_with_window_size() {
+        let t = &fig8(&small_ctx())[0];
+        let name = "swim/register";
+        let rows: Vec<(usize, f64)> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == name)
+            .map(|r| (r[1].parse().unwrap(), r[2].parse().unwrap()))
+            .collect();
+        let at_1 = rows.iter().find(|&&(w, _)| w == 1).unwrap().1;
+        let big = rows.iter().rev().find(|&&(w, _)| w >= 4096).unwrap().1;
+        assert!(at_1 == 1.0);
+        assert!(big < 0.6, "window uniqueness should fall: {big}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Section 3 reproductions: Table 1, Figures 5 and 6.
+
+use wiremodel::{Technology, Wire, WireStyle};
+
+use crate::report::{f, Table};
+use crate::Ctx;
+
+const LENGTHS: [f64; 7] = [1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+
+/// Table 1: effective λ for unbuffered vs repeatered wires.
+pub fn table1(_ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "table1",
+        "Effective lambda (paper: 14.0/0.670, 16.6/0.576, 14.5/0.591)",
+        &["technology", "wire_type", "lambda", "paper"],
+    );
+    let paper = [
+        ("0.13um", 14.0, 0.670),
+        ("0.10um", 16.6, 0.576),
+        ("0.07um", 14.5, 0.591),
+    ];
+    for (tech, (name, unbuf, rep)) in Technology::all().iter().zip(paper) {
+        let bare = Wire::new(*tech, WireStyle::Unbuffered, 20.0).expect("valid length");
+        let repeated = Wire::new(*tech, WireStyle::Repeated, 20.0).expect("valid length");
+        t.push(vec![
+            name.into(),
+            "unbuffered".into(),
+            f(bare.lambda(), 2),
+            f(unbuf, 2),
+        ]);
+        t.push(vec![
+            name.into(),
+            "repeated".into(),
+            f(repeated.lambda(), 3),
+            f(rep, 3),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 5: energy per transition vs wire length.
+pub fn fig5(_ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig5",
+        "Wire energy (pJ per transition incl. one coupling event) vs length",
+        &[
+            "length_mm",
+            "rep_013",
+            "rep_010",
+            "rep_007",
+            "wire_013",
+            "wire_010",
+            "wire_007",
+        ],
+    );
+    for &l in &LENGTHS {
+        let mut row = vec![f(l, 0)];
+        for style in [WireStyle::Repeated, WireStyle::Unbuffered] {
+            for tech in Technology::all() {
+                let w = Wire::new(tech, style, l).expect("valid length");
+                row.push(f(w.transition_energy_pj(), 3));
+            }
+        }
+        t.push(row);
+    }
+    vec![t]
+}
+
+/// Figure 6: propagation delay vs wire length.
+pub fn fig6(_ctx: &Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig6",
+        "Wire delay (ps) vs length: repeated linear, unbuffered quadratic",
+        &[
+            "length_mm",
+            "rep_013",
+            "rep_010",
+            "rep_007",
+            "wire_013",
+            "wire_010",
+            "wire_007",
+        ],
+    );
+    for &l in &LENGTHS {
+        let mut row = vec![f(l, 0)];
+        for style in [WireStyle::Repeated, WireStyle::Unbuffered] {
+            for tech in Technology::all() {
+                let w = Wire::new(tech, style, l).expect("valid length");
+                row.push(f(w.delay_ps(), 0));
+            }
+        }
+        t.push(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows() {
+        let t = &table1(&Ctx::default())[0];
+        assert_eq!(t.rows.len(), 6);
+        // Model column within 15% of the paper column for every row.
+        for row in &t.rows {
+            let model: f64 = row[2].parse().unwrap();
+            let paper: f64 = row[3].parse().unwrap();
+            assert!((model - paper).abs() / paper < 0.15, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_energy_increases_with_length() {
+        let t = &fig5(&Ctx::default())[0];
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > 10.0 * first);
+    }
+
+    #[test]
+    fn fig6_unbuffered_exceeds_repeated_at_length() {
+        let t = &fig6(&Ctx::default())[0];
+        let last = t.rows.last().unwrap();
+        let rep: f64 = last[1].parse().unwrap();
+        let bare: f64 = last[4].parse().unwrap();
+        assert!(bare > 2.0 * rep, "{last:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared harness for the reproduction experiments.
+//!
+//! The `repro` binary regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md for the per-experiment index); this library
+//! holds the pieces the experiments share: workload acquisition,
+//! scheme evaluation (behavioral activity plus circuit-level transcoder
+//! energy), and CSV/console reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod schemes;
+pub mod workloads;
+
+use std::path::PathBuf;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Bus values per (benchmark, bus) trace.
+    pub values: usize,
+    /// Data seed for the kernels and synthetic generators.
+    pub seed: u64,
+    /// Directory CSV results are written into.
+    pub out_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Configuration from the environment: `REPRO_VALUES` (default
+    /// 200 000), `REPRO_SEED` (default 1), `REPRO_OUT` (default
+    /// `results/`).
+    pub fn from_env() -> Self {
+        let values = std::env::var("REPRO_VALUES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        let seed = std::env::var("REPRO_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let out_dir = std::env::var("REPRO_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| "results".into());
+        Ctx {
+            values,
+            seed,
+            out_dir,
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            values: 200_000,
+            seed: 1,
+            out_dir: "results".into(),
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Dependency-free SVG line charts for the experiment results.
+//!
+//! Every figure-class experiment can be rendered as an SVG so the shape
+//! comparison against the paper's plots is visual, not just numeric.
+//! The renderer is deliberately small: line series over linear or log₁₀
+//! x-axes, auto-scaled y, nice ticks, and a legend.
+
+use std::fmt::Write as _;
+
+use crate::report::Table;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in data space, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-level options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartConfig {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// Use a log₁₀ x-axis (window sizes, divide periods, λ sweeps).
+    pub log_x: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl ChartConfig {
+    /// A chart with the default 860×480 canvas and a linear x-axis.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        ChartConfig {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            width: 860,
+            height: 480,
+        }
+    }
+
+    /// Switches to a log₁₀ x-axis.
+    #[must_use]
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+}
+
+/// A categorical palette that stays distinguishable out to the 18-line
+/// figures (17 benchmarks + random).
+const PALETTE: [&str; 18] = [
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#9d755d", "#b279a2", "#ff9da6",
+    "#79706e", "#bab0ac", "#d67195", "#5c9ecc", "#8ca252", "#bd9e39", "#ad494a", "#a55194",
+    "#6b6ecf", "#637939",
+];
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 170.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 52.0;
+
+/// "Nice" tick positions covering `[min, max]` with about `target`
+/// intervals (1/2/5 ladder).
+fn nice_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    assert!(min.is_finite() && max.is_finite() && target >= 1);
+    if (max - min).abs() < f64::EPSILON {
+        return vec![min];
+    }
+    let raw_step = (max - min) / target as f64;
+    let magnitude = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&m| m * magnitude)
+        .find(|&s| s >= raw_step)
+        .unwrap_or(10.0 * magnitude);
+    let start = (min / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= max + step * 1e-9 {
+        if t >= min - step * 1e-9 {
+            // Snap floating noise to a clean representation.
+            ticks.push((t / step).round() * step);
+        }
+        t += step;
+    }
+    ticks
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders the chart to an SVG document.
+///
+/// Non-finite points and (for log axes) non-positive x values are
+/// skipped. Returns `None` when no drawable points remain.
+pub fn render(config: &ChartConfig, series: &[Series]) -> Option<String> {
+    let tx = |x: f64| if config.log_x { x.log10() } else { x };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (config.log_x && x <= 0.0) {
+                continue;
+            }
+            xs.push(tx(x));
+            ys.push(y);
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    let (x_min, x_max) = bounds(&xs);
+    let (mut y_min, mut y_max) = bounds(&ys);
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_min -= 1.0;
+        y_max += 1.0;
+    }
+    // Pad y by 5%.
+    let pad = 0.05 * (y_max - y_min);
+    let (y_min, y_max) = (y_min - pad, y_max + pad);
+
+    let plot_w = config.width as f64 - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = config.height as f64 - MARGIN_TOP - MARGIN_BOTTOM;
+    let sx = move |x: f64| {
+        MARGIN_LEFT
+            + if (x_max - x_min).abs() < f64::EPSILON {
+                plot_w / 2.0
+            } else {
+                plot_w * (x - x_min) / (x_max - x_min)
+            }
+    };
+    let sy = move |y: f64| MARGIN_TOP + plot_h * (1.0 - (y - y_min) / (y_max - y_min));
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#,
+        w = config.width,
+        h = config.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{}" height="{}" fill="white"/>"#,
+        config.width, config.height
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT,
+        escape_xml(&config.title)
+    );
+
+    // Gridlines + y ticks.
+    for t in nice_ticks(y_min, y_max, 6) {
+        let y = sy(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 6.0,
+            y + 4.0,
+            format_tick(t)
+        );
+    }
+    // X ticks.
+    let x_ticks = if config.log_x {
+        let lo = x_min.floor() as i32;
+        let hi = x_max.ceil() as i32;
+        (lo..=hi)
+            .map(f64::from)
+            .filter(|&t| t >= x_min - 1e-9 && t <= x_max + 1e-9)
+            .collect()
+    } else {
+        nice_ticks(x_min, x_max, 7)
+    };
+    for t in x_ticks {
+        let x = sx(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#eee"/>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h
+        );
+        let label = if config.log_x {
+            format_tick(10f64.powf(t))
+        } else {
+            format_tick(t)
+        };
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{label}</text>"#,
+            MARGIN_TOP + plot_h + 16.0
+        );
+    }
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#555"/>"##,
+        MARGIN_LEFT, MARGIN_TOP
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        config.height as f64 - 12.0,
+        escape_xml(&config.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        escape_xml(&config.y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        let mut n = 0;
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (config.log_x && x <= 0.0) {
+                continue;
+            }
+            let _ = write!(path, "{:.1},{:.1} ", sx(tx(x)), sy(y));
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        if n == 1 {
+            // A single point gets a dot instead of a polyline.
+            let coords: Vec<&str> = path.trim().split(',').collect();
+            let _ = write!(
+                svg,
+                r#"<circle cx="{}" cy="{}" r="3" fill="{color}"/>"#,
+                coords[0], coords[1]
+            );
+        } else {
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.trim()
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 14.0 * i as f64;
+        let lx = MARGIN_LEFT + plot_w + 12.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="3"/>"#,
+            ly,
+            lx + 16.0,
+            ly
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 20.0,
+            ly + 4.0,
+            escape_xml(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in v {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    (min, max)
+}
+
+fn format_tick(t: f64) -> String {
+    if t == 0.0 {
+        return "0".into();
+    }
+    let a = t.abs();
+    if !(0.01..10_000.0).contains(&a) {
+        format!("{t:.0e}")
+    } else if a >= 10.0 || (t - t.round()).abs() < 1e-9 {
+        format!("{t:.0}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+/// How to turn an experiment [`Table`] into a chart.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Column holding x values.
+    pub x_col: &'static str,
+    /// Column holding y values.
+    pub y_col: &'static str,
+    /// Column whose distinct values become series, or `None` when every
+    /// non-x column is its own series (wide format, e.g. fig5/fig6).
+    pub series_col: Option<&'static str>,
+    /// Log₁₀ x-axis.
+    pub log_x: bool,
+    /// Y-axis caption.
+    pub y_label: &'static str,
+    /// X-axis caption.
+    pub x_label: &'static str,
+}
+
+/// The spec for an experiment id, when it has a natural line-chart form.
+pub fn spec_for(id: &str) -> Option<PlotSpec> {
+    let sweep = |x_label| PlotSpec {
+        x_col: "x",
+        y_col: "percent_removed",
+        series_col: Some("workload"),
+        log_x: false,
+        y_label: "% energy removed",
+        x_label,
+    };
+    Some(match id {
+        "fig5" => PlotSpec {
+            x_col: "length_mm",
+            y_col: "",
+            series_col: None,
+            log_x: false,
+            y_label: "energy (pJ)",
+            x_label: "wire length (mm)",
+        },
+        "fig6" => PlotSpec {
+            x_col: "length_mm",
+            y_col: "",
+            series_col: None,
+            log_x: false,
+            y_label: "delay (ps)",
+            x_label: "wire length (mm)",
+        },
+        "fig7" => PlotSpec {
+            x_col: "k",
+            y_col: "coverage",
+            series_col: Some("workload"),
+            log_x: true,
+            y_label: "fraction of trace covered",
+            x_label: "unique values (most frequent first)",
+        },
+        "fig8" => PlotSpec {
+            x_col: "window",
+            y_col: "unique_fraction",
+            series_col: Some("workload"),
+            log_x: true,
+            y_label: "avg fraction unique in window",
+            x_label: "window size",
+        },
+        "fig15" => PlotSpec {
+            x_col: "actual_lambda",
+            y_col: "percent_remaining",
+            series_col: Some("traffic"),
+            log_x: true,
+            y_label: "% energy remaining",
+            x_label: "actual wire lambda",
+        },
+        "fig16" | "fig17" => sweep("stride predictors"),
+        "fig18" | "fig19" => sweep("shift register size"),
+        "fig20" | "fig21" | "fig22" | "fig23" => sweep("frequency table size"),
+        "fig26" => PlotSpec {
+            x_col: "entries",
+            y_col: "budget_pj",
+            series_col: Some("design"),
+            log_x: false,
+            y_label: "energy budget (pJ/cycle)",
+            x_label: "total entries",
+        },
+        "fig35" | "fig36" => PlotSpec {
+            x_col: "length_mm",
+            y_col: "normalized_energy",
+            series_col: Some("workload"),
+            log_x: false,
+            y_label: "total energy / un-encoded",
+            x_label: "wire length (mm)",
+        },
+        "fig37" | "fig38" => PlotSpec {
+            x_col: "length_mm",
+            y_col: "median_normalized_energy",
+            series_col: Some("technology"),
+            log_x: false,
+            y_label: "median normalized energy",
+            x_label: "wire length (mm)",
+        },
+        "ext-wirehist" => PlotSpec {
+            x_col: "wire",
+            y_col: "",
+            series_col: None,
+            log_x: false,
+            y_label: "transitions / 1000 values",
+            x_label: "wire (bit position)",
+        },
+        _ => return None,
+    })
+}
+
+/// Builds the chart for a table under a spec. For fig37/38 the series
+/// key concatenates the technology/entries/suite columns.
+pub fn chart_table(table: &Table, spec: &PlotSpec) -> Option<String> {
+    let col = |name: &str| table.header.iter().position(|h| h == name);
+    let xi = col(spec.x_col)?;
+    let mut series: Vec<Series> = Vec::new();
+    let mut push_point =
+        |label: String, x: f64, y: f64| match series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push((x, y)),
+            None => series.push(Series {
+                label,
+                points: vec![(x, y)],
+            }),
+        };
+
+    if let Some(series_col) = spec.series_col {
+        let yi = col(spec.y_col)?;
+        // Series key: the named column, plus any extra label columns
+        // (those that are neither x nor y) for multi-key figures.
+        let si = col(series_col)?;
+        let extra: Vec<usize> = table
+            .header
+            .iter()
+            .enumerate()
+            .filter(|&(i, h)| i != xi && i != yi && i != si && h != "scheme")
+            .map(|(i, _)| i)
+            .collect();
+        for row in &table.rows {
+            let (Ok(x), Ok(y)) = (row[xi].parse::<f64>(), row[yi].parse::<f64>()) else {
+                continue;
+            };
+            let mut label = row[si].clone();
+            for &e in &extra {
+                label.push(' ');
+                label.push_str(&row[e]);
+            }
+            push_point(label, x, y);
+        }
+    } else {
+        // Wide format: every non-x column is a series.
+        for (i, h) in table.header.iter().enumerate() {
+            if i == xi {
+                continue;
+            }
+            for row in &table.rows {
+                let (Ok(x), Ok(y)) = (row[xi].parse::<f64>(), row[i].parse::<f64>()) else {
+                    continue;
+                };
+                push_point(h.clone(), x, y);
+            }
+        }
+    }
+    for s in &mut series {
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    }
+    let mut config = ChartConfig::new(&table.title, spec.x_label, spec.y_label);
+    if spec.log_x {
+        config = config.with_log_x();
+    }
+    render(&config, &series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                points: vec![(1.0, 2.0), (2.0, 4.0), (3.0, 3.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(1.0, 1.0), (3.0, 9.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&ChartConfig::new("t", "x", "y"), &demo_series()).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("</text>"));
+        // Balanced quotes (cheap well-formedness proxy).
+        assert_eq!(svg.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let cfg = ChartConfig::new("a < b & c", "x", "y");
+        let svg = render(&cfg, &demo_series()).unwrap();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn empty_series_render_none() {
+        assert!(render(&ChartConfig::new("t", "x", "y"), &[]).is_none());
+        let only_nan = vec![Series {
+            label: "n".into(),
+            points: vec![(f64::NAN, 1.0)],
+        }];
+        assert!(render(&ChartConfig::new("t", "x", "y"), &only_nan).is_none());
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let s = vec![Series {
+            label: "l".into(),
+            points: vec![(0.0, 1.0), (1.0, 2.0), (10.0, 3.0), (100.0, 4.0)],
+        }];
+        let svg = render(&ChartConfig::new("t", "x", "y").with_log_x(), &s).unwrap();
+        // Three drawable points survive.
+        let poly = svg.split("<polyline").nth(1).unwrap();
+        let points_attr = poly.split('"').nth(1).unwrap();
+        assert_eq!(points_attr.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover() {
+        let t = nice_ticks(0.0, 100.0, 5);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let t = nice_ticks(-7.0, 13.0, 5);
+        assert!(t.first().unwrap() >= &-7.0 && t.last().unwrap() <= &13.0);
+        assert!(t.len() >= 3);
+        let t = nice_ticks(5.0, 5.0, 5);
+        assert_eq!(t, vec![5.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(12.0), "12");
+        assert_eq!(format_tick(2.5), "2.50");
+        assert_eq!(format_tick(100_000.0), "1e5");
+    }
+
+    #[test]
+    fn chart_from_long_table() {
+        let mut t = Table::new(
+            "fig19",
+            "demo",
+            &["workload", "x", "scheme", "percent_removed"],
+        );
+        for (w, x, p) in [
+            ("li", 2, 10.0),
+            ("li", 8, 40.0),
+            ("go", 2, 1.0),
+            ("go", 8, 2.0),
+        ] {
+            t.push(vec![
+                w.into(),
+                x.to_string(),
+                "window".into(),
+                p.to_string(),
+            ]);
+        }
+        let spec = spec_for("fig19").unwrap();
+        let svg = chart_table(&t, &spec).unwrap();
+        assert!(svg.contains(">li<"));
+        assert!(svg.contains(">go<"));
+    }
+
+    #[test]
+    fn chart_from_wide_table() {
+        let mut t = Table::new("fig5", "demo", &["length_mm", "rep_013", "wire_013"]);
+        t.push(vec!["5".into(), "1.0".into(), "0.4".into()]);
+        t.push(vec!["10".into(), "2.0".into(), "0.8".into()]);
+        let spec = spec_for("fig5").unwrap();
+        let svg = chart_table(&t, &spec).unwrap();
+        assert!(svg.contains(">rep_013<"));
+        assert!(svg.contains(">wire_013<"));
+    }
+
+    #[test]
+    fn tables_without_spec_are_skipped() {
+        assert!(spec_for("table1").is_none());
+        assert!(spec_for("headline").is_none());
+    }
+
+    #[test]
+    fn multi_key_series_concatenate_labels() {
+        let mut t = Table::new(
+            "fig37",
+            "demo",
+            &[
+                "technology",
+                "entries",
+                "suite",
+                "length_mm",
+                "median_normalized_energy",
+            ],
+        );
+        t.push(vec![
+            "0.13um".into(),
+            "8".into(),
+            "int".into(),
+            "5".into(),
+            "1.2".into(),
+        ]);
+        t.push(vec![
+            "0.13um".into(),
+            "16".into(),
+            "fp".into(),
+            "5".into(),
+            "1.1".into(),
+        ]);
+        let spec = spec_for("fig37").unwrap();
+        let svg = chart_table(&t, &spec).unwrap();
+        assert!(svg.contains("0.13um 8 int"));
+        assert!(svg.contains("0.13um 16 fp"));
+    }
+}

@@ -1,0 +1,171 @@
+//! CSV and console reporting for the experiment harness.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A tabular result: header plus rows of equal arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier, e.g. `fig18` — becomes the CSV filename.
+    pub id: String,
+    /// One-line description printed above the table.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header's, or if any cell
+    /// contains a comma or newline (the CSV output is deliberately
+    /// unquoted, so such cells would corrupt the column structure).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        for cell in &row {
+            assert!(
+                !cell.contains(',') && !cell.contains('\n'),
+                "cell {cell:?} would corrupt the CSV of {}",
+                self.id
+            );
+        }
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Renders an aligned console table.
+    pub fn to_console(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = format!("== {} [{}] ==\n", self.title, self.id);
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float at fixed precision for table cells.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats an optional crossover length ("-" when absent).
+pub fn opt_mm(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "-".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("t1", "test", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt the CSV")]
+    fn comma_cells_rejected() {
+        let mut t = Table::new("t1", "test", &["a"]);
+        t.push(vec!["x,y".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t1", "test", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn console_alignment() {
+        let mut t = Table::new("t1", "test", &["name", "v"]);
+        t.push(vec!["x".into(), "10".into()]);
+        t.push(vec!["longer".into(), "7".into()]);
+        let s = t.to_console();
+        assert!(s.contains("== test [t1] =="));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("repro_report_test");
+        let mut t = Table::new("unit", "test", &["a"]);
+        t.push(vec!["1".into()]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(content, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(opt_mm(Some(11.52)), "11.5");
+        assert_eq!(opt_mm(None), "-");
+    }
+}

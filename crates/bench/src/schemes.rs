@@ -1,0 +1,325 @@
+//! Scheme construction and evaluation: behavioral bus activity plus
+//! circuit-level transcoder energy.
+
+use buscoding::inversion::{InversionEncoder, PatternSet};
+use buscoding::predict::{
+    context_transition_codec, context_value_codec, fcm_codec, stride_codec, window_codec,
+    ContextConfig, FcmConfig, StrideConfig, WindowConfig,
+};
+use buscoding::workzone::WorkZoneEncoder;
+use buscoding::{evaluate, Activity, CostModel, IdentityCodec};
+use bustrace::Trace;
+use hwmodel::crossover::CodingOutcome;
+use hwmodel::{CircuitModel, ContextHardware, ContextHwConfig, OpCounts, WindowHardware};
+use wiremodel::Technology;
+
+/// Activity of the un-encoded bus over a trace.
+pub fn baseline_activity(trace: &Trace) -> Activity {
+    evaluate(&mut IdentityCodec::new(trace.width()), trace)
+}
+
+/// A coding scheme under evaluation (paper Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Window-based transcoder with this many shift-register entries.
+    Window {
+        /// Shift-register entries.
+        entries: usize,
+    },
+    /// Strided predictor bank with strides `1..=strides`.
+    Stride {
+        /// Number of stride predictors.
+        strides: usize,
+    },
+    /// Value-based context transcoder.
+    ContextValue {
+        /// Frequency-table entries.
+        table: usize,
+        /// Staging shift-register entries.
+        shift: usize,
+        /// Counter-division period (0 disables).
+        divide: u64,
+    },
+    /// Transition-based context transcoder.
+    ContextTransition {
+        /// Frequency-table entries.
+        table: usize,
+        /// Staging shift-register entries.
+        shift: usize,
+        /// Counter-division period (0 disables).
+        divide: u64,
+    },
+    /// Generalized inversion coder over `2^chunks` patterns, designed
+    /// against the given λ (the λ0/λ1/λN families of Figure 15).
+    Inversion {
+        /// Independently invertible fields.
+        chunks: u32,
+        /// Design-time λ of the minimizing cost function.
+        design_lambda: f64,
+    },
+    /// Working-zone encoding (Musoll et al., the paper's reference
+    /// \[15\]) — the classic address-bus baseline.
+    WorkZone {
+        /// Zone registers.
+        zones: usize,
+    },
+    /// FCM + DFCM value prediction (Sazeides & Smith, the paper's
+    /// reference \[19\]).
+    Fcm {
+        /// Context order.
+        order: usize,
+        /// log2 of the prediction-table size.
+        table_bits: u32,
+    },
+}
+
+impl Scheme {
+    /// Display name, e.g. `window(8)`.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Window { entries } => format!("window({entries})"),
+            Scheme::Stride { strides } => format!("stride({strides})"),
+            Scheme::ContextValue {
+                table,
+                shift,
+                divide,
+            } => {
+                format!("context-value({table}+{shift} d{divide})")
+            }
+            Scheme::ContextTransition {
+                table,
+                shift,
+                divide,
+            } => {
+                format!("context-transition({table}+{shift} d{divide})")
+            }
+            Scheme::Inversion {
+                chunks,
+                design_lambda,
+            } => {
+                format!("inversion({chunks}ch l{design_lambda})")
+            }
+            Scheme::WorkZone { zones } => format!("workzone({zones})"),
+            Scheme::Fcm { order, table_bits } => format!("fcm({order} 2^{table_bits})"),
+        }
+    }
+
+    /// Behavioral bus activity of this scheme over a trace, with the
+    /// paper's default λ = 1 codebook ordering.
+    pub fn activity(&self, trace: &Trace) -> Activity {
+        let w = trace.width();
+        match *self {
+            Scheme::Window { entries } => {
+                let (mut enc, _) = window_codec(WindowConfig::new(w, entries));
+                evaluate(&mut enc, trace)
+            }
+            Scheme::Stride { strides } => {
+                let (mut enc, _) = stride_codec(StrideConfig::new(w, strides));
+                evaluate(&mut enc, trace)
+            }
+            Scheme::ContextValue {
+                table,
+                shift,
+                divide,
+            } => {
+                let cfg = ContextConfig::new(w, table, shift).with_divide_period(divide);
+                let (mut enc, _) = context_value_codec(cfg);
+                evaluate(&mut enc, trace)
+            }
+            Scheme::ContextTransition {
+                table,
+                shift,
+                divide,
+            } => {
+                let cfg = ContextConfig::new(w, table, shift).with_divide_period(divide);
+                let (mut enc, _) = context_transition_codec(cfg);
+                evaluate(&mut enc, trace)
+            }
+            Scheme::Inversion {
+                chunks,
+                design_lambda,
+            } => {
+                let patterns = if chunks <= 1 {
+                    PatternSet::bus_invert(w)
+                } else {
+                    PatternSet::chunked(w, chunks)
+                };
+                let mut enc = InversionEncoder::new(patterns, CostModel::new(design_lambda));
+                evaluate(&mut enc, trace)
+            }
+            Scheme::WorkZone { zones } => {
+                let mut enc = WorkZoneEncoder::new(w, zones);
+                evaluate(&mut enc, trace)
+            }
+            Scheme::Fcm { order, table_bits } => {
+                let (mut enc, _) = fcm_codec(FcmConfig::new(w, order, table_bits));
+                evaluate(&mut enc, trace)
+            }
+        }
+    }
+
+    /// Percent of λ-weighted energy removed relative to the un-encoded
+    /// bus.
+    pub fn percent_removed(&self, trace: &Trace, lambda: f64) -> f64 {
+        let coded = self.activity(trace);
+        let baseline = baseline_activity(trace);
+        buscoding::percent_energy_removed(&coded, &baseline, lambda)
+    }
+}
+
+/// Runs the Window hardware model over a trace and prices it: total
+/// transcoder energy (both ends, dynamic + leakage) per bus value, in
+/// picojoules.
+pub fn window_transcoder_pj_per_value(trace: &Trace, entries: usize, tech: Technology) -> f64 {
+    let mut hw = WindowHardware::new(entries);
+    for v in trace.iter() {
+        hw.present(v);
+    }
+    price_both_ends(
+        &CircuitModel::window(tech, entries),
+        hw.ops(),
+        trace.len() as u64,
+    )
+}
+
+/// Runs the Context hardware model over a trace and prices it.
+pub fn context_transcoder_pj_per_value(
+    trace: &Trace,
+    cfg: ContextHwConfig,
+    tech: Technology,
+) -> f64 {
+    let mut hw = ContextHardware::new(cfg);
+    for v in trace.iter() {
+        hw.present(v);
+    }
+    price_both_ends(
+        &CircuitModel::context(tech, cfg.table, cfg.shift),
+        hw.ops(),
+        trace.len() as u64,
+    )
+}
+
+/// Prices an inversion coder per value (flat per-cycle cost).
+pub fn inverter_transcoder_pj_per_value(tech: Technology) -> f64 {
+    let circuit = CircuitModel::inverter(tech);
+    let ops = OpCounts {
+        cycles: 1,
+        ..OpCounts::new()
+    };
+    2.0 * circuit.total_energy_pj(&ops)
+}
+
+fn price_both_ends(circuit: &CircuitModel, ops: &OpCounts, values: u64) -> f64 {
+    debug_assert!(values > 0);
+    2.0 * circuit.total_energy_pj(ops) / values as f64
+}
+
+/// Full measurement of the Window design on a trace: behavioral wire
+/// activity plus hardware energy, ready for crossover analysis.
+pub fn window_outcome(trace: &Trace, entries: usize, tech: Technology) -> CodingOutcome {
+    let coded = Scheme::Window { entries }.activity(trace);
+    let baseline = baseline_activity(trace);
+    let transcoder = window_transcoder_pj_per_value(trace, entries, tech);
+    CodingOutcome::new(baseline, coded, trace.len() as u64, transcoder)
+}
+
+/// Full measurement of the Context design on a trace.
+pub fn context_outcome(trace: &Trace, cfg: ContextHwConfig, tech: Technology) -> CodingOutcome {
+    let coded = Scheme::ContextValue {
+        table: cfg.table,
+        shift: cfg.shift,
+        divide: cfg.divide_period,
+    }
+    .activity(trace);
+    let baseline = baseline_activity(trace);
+    let transcoder = context_transcoder_pj_per_value(trace, cfg, tech);
+    CodingOutcome::new(baseline, coded, trace.len() as u64, transcoder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bustrace::Width;
+
+    fn looping_trace(n: usize) -> Trace {
+        let set = [
+            0xDEAD_BEEFu64,
+            0x1234_5678,
+            0xCAFE_F00D,
+            0xABAD_CAFE,
+            0x0BAD_F00D,
+        ];
+        Trace::from_values(Width::W32, (0..n).map(|i| set[i % 5]))
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Window { entries: 8 }.name(), "window(8)");
+        assert_eq!(
+            Scheme::ContextValue {
+                table: 28,
+                shift: 8,
+                divide: 4096
+            }
+            .name(),
+            "context-value(28+8 d4096)"
+        );
+        assert_eq!(
+            Scheme::Inversion {
+                chunks: 1,
+                design_lambda: 0.0
+            }
+            .name(),
+            "inversion(1ch l0)"
+        );
+        assert_eq!(Scheme::WorkZone { zones: 4 }.name(), "workzone(4)");
+        assert_eq!(
+            Scheme::Fcm {
+                order: 2,
+                table_bits: 12
+            }
+            .name(),
+            "fcm(2 2^12)"
+        );
+    }
+
+    #[test]
+    fn window_removes_energy_on_looping_traffic() {
+        let t = looping_trace(20_000);
+        let removed = Scheme::Window { entries: 8 }.percent_removed(&t, 1.0);
+        assert!(removed > 60.0, "{removed}");
+    }
+
+    #[test]
+    fn hardware_pricing_is_positive_and_sane() {
+        let t = looping_trace(5_000);
+        let pj = window_transcoder_pj_per_value(&t, 8, Technology::tech_013());
+        // Table 2: ~1.39 pJ/cycle per end, so both ends land near 2.8.
+        assert!(pj > 1.0 && pj < 6.0, "window pricing {pj} pJ/value");
+        let ctx = context_transcoder_pj_per_value(
+            &t,
+            ContextHwConfig::paper_layout(),
+            Technology::tech_013(),
+        );
+        assert!(
+            ctx > pj,
+            "context hardware must cost more than window: {ctx} vs {pj}"
+        );
+    }
+
+    #[test]
+    fn inverter_pricing_matches_table2() {
+        let pj = inverter_transcoder_pj_per_value(Technology::tech_013());
+        assert!((pj - 2.0 * (1.76 + 0.00055)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outcome_crosses_over_for_friendly_traffic() {
+        use wiremodel::WireStyle;
+        let t = looping_trace(20_000);
+        let o = window_outcome(&t, 8, Technology::tech_013());
+        let l = o.crossover_mm(Technology::tech_013(), WireStyle::Repeated);
+        assert!(l.is_some(), "looping traffic must break even");
+        assert!(l.unwrap() < 30.0, "crossover {l:?} too long");
+    }
+}

@@ -1,0 +1,94 @@
+//! Workload acquisition: benchmark bus traces and the controlled
+//! synthetic traffic classes the paper contrasts them with.
+
+use bustrace::generators::{TraceGenerator, UniformRandomGen};
+use bustrace::{Trace, Width};
+use simcpu::{Benchmark, BusKind};
+
+/// A named workload: either a benchmark bus tap or synthetic traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// A SPEC-like kernel observed on one bus.
+    Bench(Benchmark, BusKind),
+    /// Uniformly random words — the traffic previous studies used.
+    Random,
+}
+
+impl Workload {
+    /// Display name, e.g. `gcc/register` or `random`.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Bench(b, bus) => format!("{b}/{bus}"),
+            Workload::Random => "random".into(),
+        }
+    }
+
+    /// Produces `values` words of this workload, deterministically per
+    /// seed.
+    pub fn trace(&self, values: usize, seed: u64) -> Trace {
+        match self {
+            Workload::Bench(b, bus) => b.trace(*bus, values, seed),
+            Workload::Random => UniformRandomGen::new(Width::W32, seed).generate(values),
+        }
+    }
+
+    /// Every benchmark on the given bus.
+    pub fn all_benchmarks(bus: BusKind) -> Vec<Workload> {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| Workload::Bench(b, bus))
+            .collect()
+    }
+
+    /// Every benchmark on the given bus, plus random traffic — the
+    /// line-set of Figures 16–23.
+    pub fn figure_lines(bus: BusKind) -> Vec<Workload> {
+        let mut v = vec![Workload::Random];
+        v.extend(Workload::all_benchmarks(bus));
+        v
+    }
+
+    /// The SPECint workloads on a bus.
+    pub fn spec_int(bus: BusKind) -> Vec<Workload> {
+        Benchmark::spec_int()
+            .into_iter()
+            .map(|b| Workload::Bench(b, bus))
+            .collect()
+    }
+
+    /// The SPECfp workloads on a bus.
+    pub fn spec_fp(bus: BusKind) -> Vec<Workload> {
+        Benchmark::spec_fp()
+            .into_iter()
+            .map(|b| Workload::Bench(b, bus))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            Workload::Bench(Benchmark::Gcc, BusKind::Register).name(),
+            "gcc/register"
+        );
+        assert_eq!(Workload::Random.name(), "random");
+    }
+
+    #[test]
+    fn figure_lines_cover_random_plus_all() {
+        let lines = Workload::figure_lines(BusKind::Memory);
+        assert_eq!(lines.len(), 18);
+        assert_eq!(lines[0], Workload::Random);
+    }
+
+    #[test]
+    fn random_trace_is_deterministic() {
+        let a = Workload::Random.trace(100, 5);
+        let b = Workload::Random.trace(100, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Encoder/decoder traits and the trace evaluation framework.
+//!
+//! Every coding scheme is a pair of synchronous FSMs (Figure 1): the
+//! encoder maps each input word to the next *absolute state* of the
+//! physical bus lines, and the decoder maps observed bus states back to
+//! words. Keeping the interface at the level of absolute line states
+//! means the activity accounting ([`Activity`]) is identical for every
+//! scheme — including the un-encoded baseline — and transition coding is
+//! an internal choice of each scheme rather than a framework mode.
+
+use std::error::Error;
+use std::fmt;
+
+use bustrace::{Trace, Word};
+
+use crate::energy::Activity;
+
+/// The sending end of a transcoder: consumes words, drives bus lines.
+pub trait Encoder {
+    /// Number of physical bus lines driven (data plus any control lines),
+    /// at most 64.
+    fn lines(&self) -> u32;
+
+    /// Consumes the next word and returns the new absolute state of all
+    /// bus lines.
+    fn encode(&mut self, value: Word) -> u64;
+
+    /// Restores the power-on state so a fresh trace can be evaluated.
+    fn reset(&mut self);
+}
+
+/// The receiving end of a transcoder: observes bus line states, recovers
+/// words.
+pub trait Decoder {
+    /// Number of physical bus lines observed; must match the paired
+    /// encoder.
+    fn lines(&self) -> u32;
+
+    /// Observes the next absolute bus state and recovers the word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoundTripError`] if the observed state is not one the
+    /// paired encoder could have produced from the decoder's current
+    /// state — the signature of encoder/decoder desynchronization.
+    fn decode(&mut self, bus_state: u64) -> Result<Word, RoundTripError>;
+
+    /// Restores the power-on state.
+    fn reset(&mut self);
+}
+
+/// Error reported when a decoder observes a bus state inconsistent with
+/// its synchronized model of the encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTripError {
+    step: Option<u64>,
+    detail: String,
+}
+
+impl RoundTripError {
+    /// Creates an error with a human-readable cause.
+    pub fn new(detail: impl Into<String>) -> Self {
+        RoundTripError {
+            step: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attaches the trace position at which the failure occurred.
+    #[must_use]
+    pub fn at_step(mut self, step: u64) -> Self {
+        self.step = Some(step);
+        self
+    }
+
+    /// The trace position of the failure, if known.
+    pub fn step(&self) -> Option<u64> {
+        self.step
+    }
+}
+
+impl fmt::Display for RoundTripError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(step) => write!(f, "decode failed at step {step}: {}", self.detail),
+            None => write!(f, "decode failed: {}", self.detail),
+        }
+    }
+}
+
+impl Error for RoundTripError {}
+
+/// Runs an encoder over a trace and accumulates the bus switching
+/// activity. The encoder is reset first, and the bus is assumed to start
+/// all-low (the first driven state is counted as a transition from zero).
+///
+/// # Example
+///
+/// ```
+/// use bustrace::{Trace, Width};
+/// use buscoding::{evaluate, IdentityCodec};
+///
+/// let trace = Trace::from_values(Width::W32, [0u64, 1, 1, 3]);
+/// let activity = evaluate(&mut IdentityCodec::new(Width::W32), &trace);
+/// // 0 -> 1 (one flip), 1 -> 1 (none), 1 -> 3 (one flip)
+/// assert_eq!(activity.tau(), 2);
+/// ```
+pub fn evaluate<E: Encoder + ?Sized>(encoder: &mut E, trace: &Trace) -> Activity {
+    encoder.reset();
+    let mut activity = Activity::new(encoder.lines());
+    activity.step(0); // power-on state: all lines low
+    for value in trace.iter() {
+        activity.step(encoder.encode(value));
+    }
+    activity
+}
+
+/// Drives an encoder/decoder pair in lockstep over a trace, verifying
+/// lossless recovery of every word. Both FSMs are reset first.
+///
+/// # Errors
+///
+/// Returns the first decoding failure or mismatch, tagged with the trace
+/// position.
+pub fn verify_roundtrip<E, D>(
+    encoder: &mut E,
+    decoder: &mut D,
+    trace: &Trace,
+) -> Result<(), RoundTripError>
+where
+    E: Encoder + ?Sized,
+    D: Decoder + ?Sized,
+{
+    if encoder.lines() != decoder.lines() {
+        return Err(RoundTripError::new(format!(
+            "encoder drives {} lines but decoder expects {}",
+            encoder.lines(),
+            decoder.lines()
+        )));
+    }
+    encoder.reset();
+    decoder.reset();
+    for (i, value) in trace.iter().enumerate() {
+        let bus = encoder.encode(value);
+        let recovered = decoder.decode(bus).map_err(|e| e.at_step(i as u64))?;
+        if recovered != value {
+            return Err(RoundTripError::new(format!(
+                "recovered {recovered:#x}, expected {value:#x}"
+            ))
+            .at_step(i as u64));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::IdentityCodec;
+    use bustrace::Width;
+
+    #[test]
+    fn evaluate_counts_from_all_low() {
+        let trace = Trace::from_values(Width::W32, [0b11u64]);
+        let a = evaluate(&mut IdentityCodec::new(Width::W32), &trace);
+        assert_eq!(a.tau(), 2);
+        assert_eq!(a.steps(), 1);
+    }
+
+    #[test]
+    fn verify_roundtrip_accepts_identity() {
+        let trace = Trace::from_values(Width::W32, [5u64, 6, 7]);
+        let mut enc = IdentityCodec::new(Width::W32);
+        let mut dec = IdentityCodec::new(Width::W32);
+        verify_roundtrip(&mut enc, &mut dec, &trace).unwrap();
+    }
+
+    #[test]
+    fn verify_roundtrip_rejects_line_mismatch() {
+        let trace = Trace::from_values(Width::W32, [1u64]);
+        let mut enc = IdentityCodec::new(Width::W32);
+        let mut dec = IdentityCodec::new(Width::new(16).unwrap());
+        let err = verify_roundtrip(&mut enc, &mut dec, &trace).unwrap_err();
+        assert!(err.to_string().contains("32 lines"));
+        assert_eq!(err.step(), None);
+    }
+
+    #[test]
+    fn error_display_with_step() {
+        let e = RoundTripError::new("bad code").at_step(17);
+        assert_eq!(e.to_string(), "decode failed at step 17: bad code");
+        assert_eq!(e.step(), Some(17));
+    }
+}

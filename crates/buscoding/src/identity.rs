@@ -1,0 +1,84 @@
+//! The un-encoded baseline: words drive the bus directly.
+
+use bustrace::{Width, Word};
+
+use crate::codec::{Decoder, Encoder, RoundTripError};
+
+/// The un-encoded bus against which every scheme is normalized
+/// (the denominator of "normalized energy" throughout Section 4.4).
+///
+/// `encode` drives the word onto the data lines unchanged; `decode`
+/// reads it back. It doubles as both [`Encoder`] and [`Decoder`] since it
+/// is stateless.
+///
+/// # Example
+///
+/// ```
+/// use bustrace::Width;
+/// use buscoding::{Decoder, Encoder, IdentityCodec};
+///
+/// let mut codec = IdentityCodec::new(Width::W32);
+/// let bus = codec.encode(0xDEAD);
+/// assert_eq!(bus, 0xDEAD);
+/// assert_eq!(codec.decode(bus)?, 0xDEAD);
+/// # Ok::<(), buscoding::RoundTripError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityCodec {
+    width: Width,
+}
+
+impl IdentityCodec {
+    /// Creates the baseline codec for a bus of the given width.
+    pub fn new(width: Width) -> Self {
+        IdentityCodec { width }
+    }
+
+    /// The bus width.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+}
+
+impl Encoder for IdentityCodec {
+    fn lines(&self) -> u32 {
+        self.width.bits()
+    }
+
+    fn encode(&mut self, value: Word) -> u64 {
+        self.width.truncate(value)
+    }
+
+    fn reset(&mut self) {}
+}
+
+impl Decoder for IdentityCodec {
+    fn lines(&self) -> u32 {
+        self.width.bits()
+    }
+
+    fn decode(&mut self, bus_state: u64) -> Result<Word, RoundTripError> {
+        Ok(self.width.truncate(bus_state))
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_exactly_width_lines() {
+        let c = IdentityCodec::new(Width::new(12).unwrap());
+        assert_eq!(Encoder::lines(&c), 12);
+        assert_eq!(Decoder::lines(&c), 12);
+        assert_eq!(c.width().bits(), 12);
+    }
+
+    #[test]
+    fn truncates_on_encode() {
+        let mut c = IdentityCodec::new(Width::new(8).unwrap());
+        assert_eq!(c.encode(0x1FF), 0xFF);
+    }
+}

@@ -1,0 +1,521 @@
+//! Variable-length coding study (paper Section 6, future work).
+//!
+//! The paper's transcoders deliberately use fixed-length codes so the
+//! bus keeps its single-cycle timing; Section 6 asks how much a
+//! variable-length scheme could gain and at what timing cost. This
+//! module answers with an *offline oracle* study: a canonical Huffman
+//! code built from the trace's own value distribution (the best case
+//! any adaptive scheme could approach), with rare values escaped to a
+//! raw 32-bit form, serialized over a configurable number of bus lanes.
+//!
+//! Two costs come out:
+//!
+//! * **energy** — switching activity of the serialized lane bus,
+//!   comparable against the fixed-width transcoders' activity; and
+//! * **timing** — cycles per value (> 1 means the narrow bus is slower
+//!   than the original single-cycle bus; this is the "further
+//!   complicating designer's task" cost the paper warns about).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bustrace::{Trace, Word};
+
+use crate::energy::Activity;
+
+/// Result of the variable-length study over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarLenReport {
+    /// Bits per value of the un-encoded bus (the trace width).
+    pub fixed_bits_per_value: f64,
+    /// Zeroth-order entropy of the value distribution, in bits — the
+    /// floor for any value-by-value code.
+    pub entropy_bits_per_value: f64,
+    /// Achieved Huffman bits per value, escapes included.
+    pub huffman_bits_per_value: f64,
+    /// Fraction of values transmitted via the raw escape.
+    pub escape_fraction: f64,
+    /// Switching activity of the serialized lane bus.
+    pub serialized: Activity,
+    /// Cycles needed to ship the whole trace over the lanes.
+    pub cycles: u64,
+    /// Cycles per value (> 1.0 = slower than the original bus).
+    pub cycles_per_value: f64,
+}
+
+/// Node of the Huffman construction.
+#[derive(Debug)]
+enum Node {
+    Leaf(Symbol),
+    Internal(Box<Node>, Box<Node>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Symbol {
+    Value(Word),
+    Escape,
+}
+
+/// Builds the canonical code-length table for the given counts.
+fn huffman_lengths(counts: &[(Symbol, u64)]) -> HashMap<Symbol, u32> {
+    assert!(!counts.is_empty(), "cannot build a code over no symbols");
+    if counts.len() == 1 {
+        return HashMap::from([(counts[0].0, 1)]);
+    }
+    // (weight, tiebreak, node): BinaryHeap is a max-heap, Reverse flips.
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut nodes: Vec<Option<Node>> = Vec::new();
+    for &(sym, count) in counts {
+        let id = nodes.len() as u64;
+        nodes.push(Some(Node::Leaf(sym)));
+        heap.push(Reverse((count, id)));
+    }
+    while heap.len() > 1 {
+        let Reverse((w1, i1)) = heap.pop().expect("len > 1");
+        let Reverse((w2, i2)) = heap.pop().expect("len > 1");
+        let a = nodes[i1 as usize].take().expect("node present");
+        let b = nodes[i2 as usize].take().expect("node present");
+        let id = nodes.len() as u64;
+        nodes.push(Some(Node::Internal(Box::new(a), Box::new(b))));
+        heap.push(Reverse((w1 + w2, id)));
+    }
+    let Reverse((_, root_id)) = heap.pop().expect("one root");
+    let root = nodes[root_id as usize].take().expect("root present");
+    let mut lengths = HashMap::new();
+    assign_depths(&root, 0, &mut lengths);
+    lengths
+}
+
+fn assign_depths(node: &Node, depth: u32, out: &mut HashMap<Symbol, u32>) {
+    match node {
+        Node::Leaf(sym) => {
+            out.insert(*sym, depth.max(1));
+        }
+        Node::Internal(a, b) => {
+            assign_depths(a, depth + 1, out);
+            assign_depths(b, depth + 1, out);
+        }
+    }
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, symbol
+/// order) receive consecutive codes — both ends of a bus can rebuild the
+/// same book from the length table alone.
+fn canonical_codes(lengths: &HashMap<Symbol, u32>) -> Vec<(Symbol, u32, u64)> {
+    let mut items: Vec<(Symbol, u32)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+    items.sort_by_key(|&(s, l)| {
+        let order = match s {
+            Symbol::Escape => (0u8, 0u64),
+            Symbol::Value(v) => (1u8, v),
+        };
+        (l, order)
+    });
+    let mut out = Vec::with_capacity(items.len());
+    let mut code: u64 = 0;
+    let mut prev_len = 0u32;
+    for (sym, len) in items {
+        code <<= len - prev_len;
+        out.push((sym, len, code));
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// A frozen Huffman code book over a trace's value distribution: the
+/// top `dictionary` values get prefix-free codes, everything else rides
+/// a shared escape followed by the raw word.
+///
+/// # Example
+///
+/// ```
+/// use bustrace::{Trace, Width};
+/// use buscoding::varlen::HuffmanBook;
+///
+/// let trace = Trace::from_values(Width::W32, [7u64, 7, 7, 9, 7, 1]);
+/// let book = HuffmanBook::from_trace(&trace, 4);
+/// let bits = book.encode(&trace);
+/// let decoded = book.decode(&bits, trace.len()).expect("lossless");
+/// assert_eq!(decoded, trace.into_values());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HuffmanBook {
+    width_bits: u32,
+    /// Symbol -> (length, canonical code).
+    codes: HashMap<Symbol, (u32, u64)>,
+    /// (length, code) -> symbol, for decoding.
+    reverse: HashMap<(u32, u64), Symbol>,
+    /// Values covered by the dictionary.
+    in_dict: HashMap<Word, u64>,
+    /// Zeroth-order entropy of the symbol distribution, bits/value.
+    entropy: f64,
+}
+
+impl HuffmanBook {
+    /// Builds the book from a trace's frequency census.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `dictionary` is zero.
+    pub fn from_trace(trace: &Trace, dictionary: usize) -> Self {
+        assert!(!trace.is_empty(), "cannot study an empty trace");
+        assert!(dictionary >= 1, "dictionary needs at least one entry");
+        let mut counts: HashMap<Word, u64> = HashMap::new();
+        for v in trace.iter() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut sorted: Vec<(Word, u64)> = counts.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let in_dict: HashMap<Word, u64> = sorted.iter().take(dictionary).copied().collect();
+        let escape_count: u64 = sorted.iter().skip(dictionary).map(|&(_, c)| c).sum();
+
+        let mut symbol_counts: Vec<(Symbol, u64)> = in_dict
+            .iter()
+            .map(|(&v, &c)| (Symbol::Value(v), c))
+            .collect();
+        symbol_counts.sort_by_key(|&(s, _)| match s {
+            Symbol::Value(v) => v,
+            Symbol::Escape => u64::MAX,
+        });
+        if escape_count > 0 {
+            symbol_counts.push((Symbol::Escape, escape_count));
+        }
+        let lengths = huffman_lengths(&symbol_counts);
+        let canon = canonical_codes(&lengths);
+        let codes: HashMap<Symbol, (u32, u64)> =
+            canon.iter().map(|&(s, l, c)| (s, (l, c))).collect();
+        let reverse: HashMap<(u32, u64), Symbol> =
+            canon.into_iter().map(|(s, l, c)| ((l, c), s)).collect();
+        let n = trace.len() as f64;
+        let entropy: f64 = -symbol_counts
+            .iter()
+            .map(|&(_, c)| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>();
+        HuffmanBook {
+            width_bits: trace.width().bits(),
+            codes,
+            reverse,
+            in_dict,
+            entropy,
+        }
+    }
+
+    /// Entropy floor of the symbol distribution, in bits per value.
+    pub fn entropy_bits(&self) -> f64 {
+        self.entropy
+    }
+
+    /// Whether a value has its own code (vs escaping).
+    pub fn contains(&self, value: Word) -> bool {
+        self.in_dict.contains_key(&value)
+    }
+
+    /// Encodes a trace into a flat bitstream (MSB-first per code).
+    pub fn encode(&self, trace: &Trace) -> Vec<bool> {
+        let mut bits = Vec::new();
+        for v in trace.iter() {
+            let symbol = if self.contains(v) {
+                Symbol::Value(v)
+            } else {
+                Symbol::Escape
+            };
+            let &(len, code) = self.codes.get(&symbol).expect("every symbol coded");
+            for k in (0..len).rev() {
+                bits.push(code >> k & 1 == 1);
+            }
+            if symbol == Symbol::Escape {
+                for k in (0..self.width_bits).rev() {
+                    bits.push(v >> k & 1 == 1);
+                }
+            }
+        }
+        bits
+    }
+
+    /// Decodes `count` values back out of a bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the stream ends early or contains a prefix
+    /// no codeword matches.
+    pub fn decode(&self, bits: &[bool], count: usize) -> Result<Vec<Word>, String> {
+        let max_len = self.codes.values().map(|&(l, _)| l).max().unwrap_or(1);
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 0usize;
+        while out.len() < count {
+            let mut len = 0u32;
+            let mut acc = 0u64;
+            let symbol = loop {
+                let bit = *bits.get(pos).ok_or("bitstream ended mid-codeword")?;
+                pos += 1;
+                len += 1;
+                acc = acc << 1 | u64::from(bit);
+                if let Some(&s) = self.reverse.get(&(len, acc)) {
+                    break s;
+                }
+                if len > max_len {
+                    return Err(format!("prefix {acc:#b}/{len} matches no codeword"));
+                }
+            };
+            match symbol {
+                Symbol::Value(v) => out.push(v),
+                Symbol::Escape => {
+                    let mut raw = 0u64;
+                    for _ in 0..self.width_bits {
+                        let bit = *bits.get(pos).ok_or("bitstream ended mid-escape")?;
+                        pos += 1;
+                        raw = raw << 1 | u64::from(bit);
+                    }
+                    out.push(raw);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Runs the study: builds a Huffman code over the trace's most frequent
+/// values (up to `dictionary` of them; the rest escape to raw), then
+/// serializes the bitstream over `lanes` parallel wires and measures the
+/// resulting switching activity and cycle count.
+///
+/// # Panics
+///
+/// Panics if the trace is empty, `lanes` is not in `1..=64`, or
+/// `dictionary` is zero.
+pub fn huffman_study(trace: &Trace, dictionary: usize, lanes: u32) -> VarLenReport {
+    assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+    let width_bits = trace.width().bits();
+    let book = HuffmanBook::from_trace(trace, dictionary);
+    let codes = &book.codes;
+    let in_dict = &book.in_dict;
+    let entropy = book.entropy;
+    let n = trace.len() as f64;
+
+    // Serialize: emit each value's code bits (escape code followed by
+    // the raw word) into the lane bus, most significant bit first.
+    let mut activity = Activity::new(lanes);
+    activity.step(0);
+    let mut bit_buffer: Vec<bool> = Vec::with_capacity(lanes as usize);
+    let mut cycles = 0u64;
+    let mut total_bits = 0u64;
+    let mut lane_state = 0u64;
+    let flush =
+        |buf: &mut Vec<bool>, activity: &mut Activity, state: &mut u64, cycles: &mut u64| {
+            if buf.is_empty() {
+                return;
+            }
+            let mut next = *state;
+            for (i, &bit) in buf.iter().enumerate() {
+                let mask = 1u64 << i;
+                if bit {
+                    next |= mask;
+                } else {
+                    next &= !mask;
+                }
+            }
+            activity.step(next);
+            *state = next;
+            *cycles += 1;
+            buf.clear();
+        };
+    let emit_bits = |value: u64,
+                     len: u32,
+                     buf: &mut Vec<bool>,
+                     activity: &mut Activity,
+                     state: &mut u64,
+                     cycles: &mut u64| {
+        for k in (0..len).rev() {
+            buf.push(value >> k & 1 == 1);
+            if buf.len() == lanes as usize {
+                flush(buf, activity, state, cycles);
+            }
+        }
+    };
+    let mut escapes = 0u64;
+    for v in trace.iter() {
+        let symbol = if in_dict.contains_key(&v) {
+            Symbol::Value(v)
+        } else {
+            Symbol::Escape
+        };
+        let &(len, code) = codes.get(&symbol).expect("every symbol coded");
+        emit_bits(
+            code,
+            len,
+            &mut bit_buffer,
+            &mut activity,
+            &mut lane_state,
+            &mut cycles,
+        );
+        total_bits += u64::from(len);
+        if symbol == Symbol::Escape {
+            escapes += 1;
+            emit_bits(
+                v,
+                width_bits,
+                &mut bit_buffer,
+                &mut activity,
+                &mut lane_state,
+                &mut cycles,
+            );
+            total_bits += u64::from(width_bits);
+        }
+    }
+    flush(&mut bit_buffer, &mut activity, &mut lane_state, &mut cycles);
+
+    VarLenReport {
+        fixed_bits_per_value: f64::from(width_bits),
+        entropy_bits_per_value: entropy,
+        huffman_bits_per_value: total_bits as f64 / n,
+        escape_fraction: escapes as f64 / n,
+        serialized: activity,
+        cycles,
+        cycles_per_value: cycles as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bustrace::Width;
+
+    fn skewed_trace(n: usize) -> Trace {
+        // 70% one hot value, the rest spread over a small set.
+        let mut vals = Vec::with_capacity(n);
+        let mut x = 7u64;
+        for i in 0..n {
+            if i % 10 < 7 {
+                vals.push(0xAAAA_0001);
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+                vals.push(0xBB00 + (x >> 60));
+            }
+        }
+        Trace::from_values(Width::W32, vals)
+    }
+
+    #[test]
+    fn huffman_beats_fixed_on_skewed_traffic() {
+        let r = huffman_study(&skewed_trace(20_000), 64, 8);
+        assert!(
+            r.huffman_bits_per_value < 8.0,
+            "{}",
+            r.huffman_bits_per_value
+        );
+        assert!(r.huffman_bits_per_value >= r.entropy_bits_per_value - 1e-9);
+        // Kraft/optimality sanity: within 1 bit of entropy (plus escape
+        // overhead, absent here since the dictionary covers everything).
+        assert!(r.huffman_bits_per_value < r.entropy_bits_per_value + 1.0);
+        assert_eq!(r.escape_fraction, 0.0);
+    }
+
+    #[test]
+    fn uniform_random_traffic_does_not_compress() {
+        let mut vals = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            vals.push(x >> 16);
+        }
+        let trace = Trace::from_values(Width::W32, vals);
+        let r = huffman_study(&trace, 64, 8);
+        // Nearly everything escapes: code bits exceed the fixed width.
+        assert!(r.escape_fraction > 0.95);
+        assert!(r.huffman_bits_per_value > 32.0);
+        assert!(
+            r.cycles_per_value > 4.0,
+            "8 lanes need > 4 cycles for 32+ bits"
+        );
+    }
+
+    #[test]
+    fn wider_lane_groups_cut_cycles() {
+        let t = skewed_trace(5_000);
+        let narrow = huffman_study(&t, 64, 4);
+        let wide = huffman_study(&t, 64, 16);
+        assert!(wide.cycles < narrow.cycles);
+        assert!((narrow.cycles_per_value - narrow.cycles as f64 / 5_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_trace_compresses_to_one_bit() {
+        let t = Trace::from_values(Width::W32, std::iter::repeat_n(42u64, 1000));
+        let r = huffman_study(&t, 4, 8);
+        assert!((r.huffman_bits_per_value - 1.0).abs() < 1e-9);
+        assert_eq!(r.entropy_bits_per_value, 0.0);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let t = skewed_trace(5_000);
+        let mut counts: HashMap<Word, u64> = HashMap::new();
+        for v in t.iter() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let symbol_counts: Vec<(Symbol, u64)> = {
+            let mut sc: Vec<(Symbol, u64)> = counts
+                .iter()
+                .map(|(&v, &c)| (Symbol::Value(v), c))
+                .collect();
+            sc.sort_by_key(|&(s, _)| match s {
+                Symbol::Value(v) => v,
+                Symbol::Escape => u64::MAX,
+            });
+            sc
+        };
+        let lengths = huffman_lengths(&symbol_counts);
+        let codes = canonical_codes(&lengths);
+        for (i, &(_, l1, c1)) in codes.iter().enumerate() {
+            for &(_, l2, c2) in codes.iter().skip(i + 1) {
+                let (short, long) = if l1 <= l2 {
+                    ((l1, c1), (l2, c2))
+                } else {
+                    ((l2, c2), (l1, c1))
+                };
+                assert_ne!(
+                    short.1,
+                    long.1 >> (long.0 - short.0),
+                    "code {c1:b} is a prefix of {c2:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = huffman_study(&Trace::new(Width::W32), 4, 8);
+    }
+
+    #[test]
+    fn book_roundtrips_with_escapes() {
+        let t = skewed_trace(5_000);
+        // A tiny dictionary forces plenty of escapes.
+        let book = HuffmanBook::from_trace(&t, 3);
+        let bits = book.encode(&t);
+        let decoded = book.decode(&bits, t.len()).expect("lossless");
+        assert_eq!(decoded, t.values());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let t = skewed_trace(100);
+        let book = HuffmanBook::from_trace(&t, 8);
+        let mut bits = book.encode(&t);
+        bits.truncate(bits.len() / 2);
+        assert!(book.decode(&bits, t.len()).is_err());
+    }
+
+    #[test]
+    fn book_reports_entropy_and_membership() {
+        let t = Trace::from_values(Width::W32, [5u64, 5, 9, 9]);
+        let book = HuffmanBook::from_trace(&t, 2);
+        assert!((book.entropy_bits() - 1.0).abs() < 1e-12);
+        assert!(book.contains(5));
+        assert!(!book.contains(123));
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text trace serialization.
+//!
+//! A deliberately trivial format so traces can move between this
+//! toolchain and external analysis (spreadsheets, Python, the original
+//! SimpleScalar tooling):
+//!
+//! ```text
+//! # bustrace v1 width=32
+//! deadbeef
+//! 12345678
+//! ...
+//! ```
+//!
+//! One lowercase hex word per line; `#` lines are comments; the header
+//! carries the bus width. Values wider than the declared width are
+//! rejected on read (a truncating reader would silently corrupt
+//! experiments).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Trace, Width};
+
+/// Errors from reading a text trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A data line is not a hex word or exceeds the declared width.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadTraceError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
+            ReadTraceError::BadLine { line, content } => {
+                write!(f, "bad trace value at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes a trace in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O failures. (A `&mut` reference can be passed as the
+/// writer.)
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# bustrace v1 width={}", trace.width().bits())?;
+    for v in trace.iter() {
+        writeln!(writer, "{v:x}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format. (A `&mut` reference can be passed
+/// as the reader.)
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure, a bad header, or any
+/// malformed or out-of-width value.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadTraceError::BadHeader("empty input".into()))??;
+    let width = parse_header(&header)?;
+    let mut trace = Trace::new(width);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let value = u64::from_str_radix(text, 16).map_err(|_| ReadTraceError::BadLine {
+            line: i + 2,
+            content: text.into(),
+        })?;
+        if !width.contains(value) {
+            return Err(ReadTraceError::BadLine {
+                line: i + 2,
+                content: text.into(),
+            });
+        }
+        trace.push(value);
+    }
+    Ok(trace)
+}
+
+fn parse_header(header: &str) -> Result<Width, ReadTraceError> {
+    let bad = || ReadTraceError::BadHeader(header.to_string());
+    let rest = header
+        .strip_prefix("# bustrace v1 width=")
+        .ok_or_else(bad)?;
+    let bits: u32 = rest.trim().parse().map_err(|_| bad())?;
+    Width::new(bits).map_err(|_| bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(trace, &mut buf).unwrap();
+        read_trace(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trips() {
+        let t = Trace::from_values(Width::W32, [0u64, 0xDEAD_BEEF, 42, u64::from(u32::MAX)]);
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new(Width::new(16).unwrap());
+        let r = round_trip(&t);
+        assert_eq!(r, t);
+        assert_eq!(r.width().bits(), 16);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# bustrace v1 width=8\n\n# a comment\nff\n\n01\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.values(), &[0xFF, 0x01]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_trace("width=32\nff\n".as_bytes()),
+            Err(ReadTraceError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_trace("# bustrace v1 width=0\n".as_bytes()),
+            Err(ReadTraceError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_trace("".as_bytes()),
+            Err(ReadTraceError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_overwide_and_malformed_values() {
+        let over = "# bustrace v1 width=8\n1ff\n";
+        match read_trace(over.as_bytes()) {
+            Err(ReadTraceError::BadLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        let junk = "# bustrace v1 width=8\nzz\n";
+        assert!(matches!(
+            read_trace(junk.as_bytes()),
+            Err(ReadTraceError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ReadTraceError::BadLine {
+            line: 7,
+            content: "xyz".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The energy budget (paper Section 5.1, Figure 26).
+//!
+//! The budget is the wire energy a coding scheme *saves* per bus cycle
+//! at a given wire length — an implementation-independent ceiling on
+//! what the encoder/decoder pair may consume and still break even. It
+//! depends only on the wire model and on how many transitions and
+//! coupling events the code removed.
+
+use buscoding::Activity;
+use wiremodel::Wire;
+
+/// Wire energy saved per bus value, in picojoules: the transcoder's
+/// energy budget at this wire's length.
+///
+/// Negative when the scheme *adds* wire activity (control-line traffic
+/// outweighing the coding gains).
+///
+/// # Panics
+///
+/// Panics if `values` is zero — a budget over no traffic is undefined.
+///
+/// # Example
+///
+/// ```
+/// use buscoding::Activity;
+/// use hwmodel::budget::energy_budget_pj_per_cycle;
+/// use wiremodel::{Technology, Wire, WireStyle};
+///
+/// let mut baseline = Activity::new(32);
+/// baseline.step(0);
+/// baseline.step(0xFFFF_FFFF);
+/// let mut coded = Activity::new(34);
+/// coded.step(0);
+/// coded.step(0x1);
+/// let wire = Wire::new(Technology::tech_013(), WireStyle::Repeated, 10.0)?;
+/// let budget = energy_budget_pj_per_cycle(&baseline, &coded, &wire, 1);
+/// assert!(budget > 0.0);
+/// # Ok::<(), wiremodel::WireError>(())
+/// ```
+pub fn energy_budget_pj_per_cycle(
+    baseline: &Activity,
+    coded: &Activity,
+    wire: &Wire,
+    values: u64,
+) -> f64 {
+    assert!(values > 0, "budget requires at least one bus value");
+    let e = wire.transition_energy();
+    let base = e.total_pj(baseline.tau(), baseline.kappa());
+    let after = e.total_pj(coded.tau(), coded.kappa());
+    (base - after) / values as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiremodel::{Technology, WireStyle};
+
+    fn activity(lines: u32, states: &[u64]) -> Activity {
+        let mut a = Activity::new(lines);
+        for &s in states {
+            a.step(s);
+        }
+        a
+    }
+
+    fn wire(len: f64) -> Wire {
+        Wire::new(Technology::tech_013(), WireStyle::Repeated, len).unwrap()
+    }
+
+    #[test]
+    fn budget_grows_linearly_with_length() {
+        let baseline = activity(32, &[0, 0xFFFF, 0, 0xFFFF]);
+        let coded = activity(34, &[0, 1, 0, 1]);
+        let b5 = energy_budget_pj_per_cycle(&baseline, &coded, &wire(5.0), 3);
+        let b15 = energy_budget_pj_per_cycle(&baseline, &coded, &wire(15.0), 3);
+        assert!(
+            b15 > 2.5 * b5,
+            "budget must scale with length: {b5} vs {b15}"
+        );
+    }
+
+    #[test]
+    fn budget_is_negative_when_coding_hurts() {
+        let baseline = activity(32, &[0, 1]);
+        let coded = activity(34, &[0, 0xFFFF]);
+        assert!(energy_budget_pj_per_cycle(&baseline, &coded, &wire(10.0), 1) < 0.0);
+    }
+
+    #[test]
+    fn budget_is_zero_for_identical_activity() {
+        let a = activity(32, &[0, 5, 9]);
+        let b = activity(32, &[0, 5, 9]);
+        assert_eq!(energy_budget_pj_per_cycle(&a, &b, &wire(10.0), 2), 0.0);
+    }
+
+    #[test]
+    fn budget_magnitude_matches_figure26() {
+        // Figure 26: a few pJ of budget at 10-15 mm for a transcoder
+        // removing a healthy fraction of a 32-bit bus's activity. Use a
+        // synthetic 50%-removal profile at ~8 weighted events/cycle.
+        let mut baseline = Activity::new(32);
+        let mut coded = Activity::new(34);
+        baseline.step(0);
+        coded.step(0);
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+            baseline.step(x & 0xFF); // ~4 transitions/cycle + coupling
+            coded.step(if i % 2 == 0 { 1 } else { 0 }); // ~1 transition
+        }
+        let b = energy_budget_pj_per_cycle(&baseline, &coded, &wire(15.0), 10_000);
+        assert!(
+            b > 0.3 && b < 20.0,
+            "budget {b} pJ out of the plausible band"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bus value")]
+    fn budget_rejects_zero_values() {
+        let a = activity(32, &[0]);
+        let _ = energy_budget_pj_per_cycle(&a, &a, &wire(5.0), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Circuit-level transcoder energy modeling (paper Section 5).
+//!
+//! The paper's decisive question is not "does coding remove transitions"
+//! but "does the *circuit doing the coding* cost less than it saves".
+//! Its methodology (Figure 34): run the transcoder architecture at cycle
+//! level, count every energy-consuming hardware operation — matches,
+//! shifts, Johnson-counter increments, counter comparisons, entry swaps
+//! — then multiply by per-operation energies extracted from an HSPICE
+//! simulation of the real layout. This crate implements exactly that
+//! pipeline:
+//!
+//! * [`WindowHardware`] and [`ContextHardware`] are cycle-level models
+//!   of the two built designs, including the pending-bit neighbor-swap
+//!   sorting algorithm of Section 5.3.1 and selective-precharge
+//!   matching;
+//! * [`OpCounts`] tallies the operations; [`CircuitModel`] prices them
+//!   per technology, calibrated so whole-codec averages land on
+//!   Table 2 (1.39 pJ/cycle at 0.13 µm, 1.07 at 0.10 µm, 0.55 at
+//!   0.07 µm, 1.76 for the inversion coder);
+//! * [`budget`] computes the implementation-independent energy budget of
+//!   Figure 26; [`crossover`] combines transcoder and wire energy into
+//!   the normalized-energy curves and break-even lengths of Figures
+//!   35–38 and Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use bustrace::{Trace, Width};
+//! use hwmodel::{CircuitModel, WindowHardware};
+//! use wiremodel::Technology;
+//!
+//! let trace = Trace::from_values(Width::W32, (0..2000u64).map(|i| i % 10));
+//! let mut hw = WindowHardware::new(8);
+//! for v in trace.iter() {
+//!     hw.present(v);
+//! }
+//! let circuit = CircuitModel::window(Technology::tech_013(), 8);
+//! let pj = circuit.dynamic_energy_pj(hw.ops());
+//! assert!(pj > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod crossover;
+pub mod timing;
+
+mod circuit;
+mod context_hw;
+mod ops;
+mod window_hw;
+
+pub use circuit::{CircuitKind, CircuitModel, OpEnergies};
+pub use context_hw::{ContextHardware, ContextHwConfig};
+pub use ops::OpCounts;
+pub use window_hw::{HwOutcome, WindowHardware};

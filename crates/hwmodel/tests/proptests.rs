@@ -1,0 +1,84 @@
+//! Property tests for the cycle-level hardware models.
+
+use hwmodel::{ContextHardware, ContextHwConfig, HwOutcome, WindowHardware};
+use proptest::prelude::*;
+
+/// Value streams mixing hot small sets, clustered values and noise —
+/// the regimes that exercise hits, staging, promotion and sorting.
+fn value_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => 0u64..8,
+            3 => (0u64..64).prop_map(|k| 0xAB00_0000 + k),
+            2 => any::<u32>().prop_map(u64::from),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sorted-table invariants hold at every cycle boundary for any
+    /// geometry and any traffic.
+    #[test]
+    fn context_invariants_hold(
+        values in value_stream(),
+        table in 1usize..16,
+        shift in 1usize..8,
+        divide in prop_oneof![Just(0u64), Just(7), Just(64)],
+    ) {
+        let mut hw = ContextHardware::new(ContextHwConfig {
+            table,
+            shift,
+            divide_period: divide,
+            promote_threshold: 2,
+        });
+        for v in values {
+            hw.present(v);
+            prop_assert!(hw.is_sorted(), "Invariant 2 violated");
+            prop_assert!(hw.tags_unique(), "Invariant 1 violated");
+        }
+    }
+
+    /// Operation accounting identities of the window hardware:
+    /// exactly one shift per miss; full matches never exceed precharges;
+    /// precharges never exceed entries × cycles.
+    #[test]
+    fn window_op_identities(values in value_stream(), entries in 1usize..12) {
+        let mut hw = WindowHardware::new(entries);
+        let mut misses = 0u64;
+        for v in values {
+            if hw.present(v) == HwOutcome::Miss {
+                misses += 1;
+            }
+        }
+        let ops = hw.ops();
+        prop_assert_eq!(ops.shifts, misses);
+        prop_assert!(ops.full_matches <= ops.precharge_matches);
+        prop_assert!(ops.precharge_matches <= entries as u64 * ops.cycles);
+        prop_assert!(ops.last_updates <= ops.cycles);
+    }
+
+    /// An immediate repeat always hits rank 0 on both hardware models.
+    #[test]
+    fn repeats_hit_rank_zero(values in value_stream()) {
+        let mut w = WindowHardware::new(4);
+        let mut c = ContextHardware::new(ContextHwConfig {
+            table: 4,
+            shift: 2,
+            divide_period: 0,
+            promote_threshold: 2,
+        });
+        let mut prev: Option<u64> = None;
+        for v in values {
+            let wo = w.present(v);
+            let co = c.present(v);
+            if prev == Some(v) {
+                prop_assert_eq!(wo, HwOutcome::Hit { rank: 0 });
+                prop_assert_eq!(co, HwOutcome::Hit { rank: 0 });
+            }
+            prev = Some(v);
+        }
+    }
+}

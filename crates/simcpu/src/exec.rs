@@ -1,0 +1,278 @@
+//! The shared functional executor: one instruction's architectural
+//! effects, independent of any timing model.
+//!
+//! Both machines — the in-order functional [`Machine`](crate::Machine)
+//! and the out-of-order timing model ([`OooMachine`](crate::OooMachine))
+//! — execute through this single implementation, so their architectural
+//! state can never diverge; they differ only in *when* each effect is
+//! scheduled onto the buses.
+
+use crate::isa::{Instr, Reg, NUM_REGS};
+
+/// The class an executed instruction belongs to (for timing and mix
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InstrClass {
+    Alu,
+    Fpu,
+    Load,
+    Store,
+    Branch,
+    Halt,
+}
+
+/// A memory effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MemEffect {
+    /// Full 32-bit effective (virtual) address.
+    pub vaddr: u32,
+    /// Datum: the loaded value for loads, the stored value for stores.
+    pub value: u32,
+    /// Whether this is a store.
+    pub is_store: bool,
+}
+
+/// Everything one instruction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ExecOutcome {
+    /// Register reads in port order: `(register, value read)`.
+    pub reads: [Option<(Reg, u32)>; 2],
+    /// Register written, with the value.
+    pub write: Option<(Reg, u32)>,
+    /// Memory effect, if any.
+    pub mem: Option<MemEffect>,
+    /// The next program counter.
+    pub next_pc: usize,
+    /// Whether a branch or jump redirected the PC.
+    pub taken: bool,
+    /// Instruction class.
+    pub class: InstrClass,
+}
+
+#[inline]
+fn read_reg(regs: &[u32; NUM_REGS], r: Reg) -> u32 {
+    if r == 0 {
+        0
+    } else {
+        regs[usize::from(r)]
+    }
+}
+
+#[inline]
+fn write_reg(regs: &mut [u32; NUM_REGS], r: Reg, v: u32) {
+    if r != 0 {
+        regs[usize::from(r)] = v;
+    }
+}
+
+/// Executes one instruction architecturally: updates registers and
+/// memory, returns the full effect record. `mem_mask` is
+/// `memory.len() - 1` (power-of-two memory).
+pub(crate) fn execute(
+    instr: Instr,
+    pc: usize,
+    regs: &mut [u32; NUM_REGS],
+    memory: &mut [u32],
+    mem_mask: usize,
+) -> ExecOutcome {
+    let mut out = ExecOutcome {
+        reads: [None, None],
+        write: None,
+        mem: None,
+        next_pc: pc + 1,
+        taken: false,
+        class: InstrClass::Alu,
+    };
+    for (slot, src) in out.reads.iter_mut().zip(instr.register_reads()) {
+        if let Some(r) = src {
+            *slot = Some((r, read_reg(regs, r)));
+        }
+    }
+    match instr {
+        Instr::Li { rd, imm } => {
+            write_reg(regs, rd, imm);
+            out.write = Some((rd, imm));
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let v = op.apply(read_reg(regs, rs1), read_reg(regs, rs2));
+            write_reg(regs, rd, v);
+            out.write = Some((rd, v));
+        }
+        Instr::AluI { op, rd, rs1, imm } => {
+            let v = op.apply(read_reg(regs, rs1), imm);
+            write_reg(regs, rd, v);
+            out.write = Some((rd, v));
+        }
+        Instr::Fpu { op, rd, rs1, rs2 } => {
+            out.class = InstrClass::Fpu;
+            let v = op.apply(read_reg(regs, rs1), read_reg(regs, rs2));
+            write_reg(regs, rd, v);
+            out.write = Some((rd, v));
+        }
+        Instr::Load { rd, base, offset } => {
+            out.class = InstrClass::Load;
+            let vaddr = (i64::from(read_reg(regs, base)) + i64::from(offset)) as u32;
+            let value = memory[(vaddr as usize) & mem_mask];
+            write_reg(regs, rd, value);
+            out.write = Some((rd, value));
+            out.mem = Some(MemEffect {
+                vaddr,
+                value,
+                is_store: false,
+            });
+        }
+        Instr::Store { base, offset, src } => {
+            out.class = InstrClass::Store;
+            let vaddr = (i64::from(read_reg(regs, base)) + i64::from(offset)) as u32;
+            let value = read_reg(regs, src);
+            memory[(vaddr as usize) & mem_mask] = value;
+            out.mem = Some(MemEffect {
+                vaddr,
+                value,
+                is_store: true,
+            });
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            out.class = InstrClass::Branch;
+            if cond.holds(read_reg(regs, rs1), read_reg(regs, rs2)) {
+                out.next_pc = target as usize;
+                out.taken = true;
+            }
+        }
+        Instr::Jump { target } => {
+            out.class = InstrClass::Branch;
+            out.next_pc = target as usize;
+            out.taken = true;
+        }
+        Instr::Halt => {
+            out.class = InstrClass::Halt;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Cond};
+
+    fn setup() -> ([u32; NUM_REGS], Vec<u32>) {
+        let mut regs = [0u32; NUM_REGS];
+        regs[1] = 10;
+        regs[2] = 3;
+        (regs, vec![0u32; 64])
+    }
+
+    #[test]
+    fn alu_records_reads_and_write() {
+        let (mut regs, mut mem) = setup();
+        let o = execute(
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            5,
+            &mut regs,
+            &mut mem,
+            63,
+        );
+        assert_eq!(o.reads, [Some((1, 10)), Some((2, 3))]);
+        assert_eq!(o.write, Some((3, 7)));
+        assert_eq!(regs[3], 7);
+        assert_eq!(o.next_pc, 6);
+        assert_eq!(o.class, InstrClass::Alu);
+    }
+
+    #[test]
+    fn store_and_load_round_memory() {
+        let (mut regs, mut mem) = setup();
+        let s = execute(
+            Instr::Store {
+                base: 2,
+                offset: 1,
+                src: 1,
+            },
+            0,
+            &mut regs,
+            &mut mem,
+            63,
+        );
+        assert_eq!(
+            s.mem,
+            Some(MemEffect {
+                vaddr: 4,
+                value: 10,
+                is_store: true
+            })
+        );
+        assert_eq!(mem[4], 10);
+        let l = execute(
+            Instr::Load {
+                rd: 5,
+                base: 2,
+                offset: 1,
+            },
+            1,
+            &mut regs,
+            &mut mem,
+            63,
+        );
+        assert_eq!(
+            l.mem,
+            Some(MemEffect {
+                vaddr: 4,
+                value: 10,
+                is_store: false
+            })
+        );
+        assert_eq!(regs[5], 10);
+        assert_eq!(l.class, InstrClass::Load);
+    }
+
+    #[test]
+    fn branch_taken_and_not() {
+        let (mut regs, mut mem) = setup();
+        let t = execute(
+            Instr::Branch {
+                cond: Cond::Lt,
+                rs1: 2,
+                rs2: 1,
+                target: 40,
+            },
+            7,
+            &mut regs,
+            &mut mem,
+            63,
+        );
+        assert!(t.taken);
+        assert_eq!(t.next_pc, 40);
+        let n = execute(
+            Instr::Branch {
+                cond: Cond::Lt,
+                rs1: 1,
+                rs2: 2,
+                target: 40,
+            },
+            7,
+            &mut regs,
+            &mut mem,
+            63,
+        );
+        assert!(!n.taken);
+        assert_eq!(n.next_pc, 8);
+    }
+
+    #[test]
+    fn register_zero_stays_zero() {
+        let (mut regs, mut mem) = setup();
+        execute(Instr::Li { rd: 0, imm: 99 }, 0, &mut regs, &mut mem, 63);
+        assert_eq!(regs[0], 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! A timestamp-based out-of-order timing model — the closest analogue
+//! of the paper's `sim-outorder` methodology (Section 4.1).
+//!
+//! Architectural execution stays in program order through the shared
+//! executor (values are exact, no speculation), while a classic
+//! timestamp dataflow model schedules *when* each effect reaches the
+//! buses:
+//!
+//! * dispatch is in-order, `width` instructions per cycle, bounded by a
+//!   reorder buffer;
+//! * an instruction issues when its source registers are ready and its
+//!   dispatch slot has arrived; completion follows the unit latency
+//!   (cache-dependent for memory);
+//! * taken branches stall dispatch by a fetch-redirect penalty;
+//! * register-port traffic is stamped at issue, memory-bus data at
+//!   completion — so long-latency misses overtake younger hits exactly
+//!   as in the event-queue re-timing of the in-order machine, but with
+//!   realistic clustering and overlap.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use bustrace::{Trace, Width};
+
+use crate::cache::{CacheConfig, CacheHierarchy};
+use crate::exec::{self, InstrClass};
+use crate::isa::NUM_REGS;
+use crate::program::Program;
+
+/// Out-of-order engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OooConfig {
+    /// Dispatch/issue/retire width, instructions per cycle.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Integer-operation latency in cycles.
+    pub alu_latency: u64,
+    /// Floating-point latency in cycles.
+    pub fpu_latency: u64,
+    /// Fetch-redirect bubble after a *mispredicted* branch, cycles.
+    pub branch_penalty: u64,
+    /// log2 of the branch-predictor table size (2-bit saturating
+    /// counters, PC-indexed). 0 disables prediction: every taken branch
+    /// pays the full bubble, as a predictor-less front end would.
+    pub predictor_bits: u32,
+    /// Data memory size in words (power of two).
+    pub memory_words: usize,
+    /// L1 data cache.
+    pub cache: CacheConfig,
+    /// Optional L2.
+    pub l2: Option<CacheConfig>,
+    /// Miss-everywhere latency (used when an L2 is configured).
+    pub memory_latency: u64,
+}
+
+impl Default for OooConfig {
+    /// A 4-wide, 64-entry-ROB machine over the default memory system.
+    fn default() -> Self {
+        OooConfig {
+            width: 4,
+            rob: 64,
+            alu_latency: 1,
+            fpu_latency: 4,
+            branch_penalty: 3,
+            predictor_bits: 10,
+            memory_words: 1 << 16,
+            cache: CacheConfig::default(),
+            l2: None,
+            memory_latency: CacheConfig::default().miss_latency,
+        }
+    }
+}
+
+/// Statistics of an out-of-order run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OooSummary {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles from start to the last retirement.
+    pub cycles: u64,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// Conditional branches and jumps executed.
+    pub branches: u64,
+    /// Branches whose direction the predictor got wrong.
+    pub mispredictions: u64,
+}
+
+/// A PC-indexed table of 2-bit saturating counters — the classic bimodal
+/// direction predictor.
+#[derive(Debug, Clone)]
+struct BranchPredictor {
+    /// Counter per slot: 0..=3, taken when >= 2. Empty disables.
+    counters: Vec<u8>,
+}
+
+impl BranchPredictor {
+    fn new(bits: u32) -> Self {
+        let size = if bits == 0 { 0 } else { 1usize << bits };
+        // Weakly taken start: loops predict well immediately.
+        BranchPredictor {
+            counters: vec![2; size],
+        }
+    }
+
+    fn slot(&self, pc: usize) -> usize {
+        pc & (self.counters.len() - 1)
+    }
+
+    /// Predicted direction for the branch at `pc`; `None` when disabled.
+    fn predict(&self, pc: usize) -> Option<bool> {
+        if self.counters.is_empty() {
+            return None;
+        }
+        Some(self.counters[self.slot(pc)] >= 2)
+    }
+
+    fn update(&mut self, pc: usize, taken: bool) {
+        if self.counters.is_empty() {
+            return;
+        }
+        let slot = self.slot(pc);
+        let c = &mut self.counters[slot];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// The out-of-order timing machine.
+///
+/// # Example
+///
+/// ```
+/// use simcpu::{Benchmark, BusKind, OooConfig};
+///
+/// let trace = Benchmark::Gcc.trace_ooo(BusKind::Memory, 2_000, 1, OooConfig::default());
+/// assert_eq!(trace.len(), 2_000);
+/// ```
+#[derive(Debug)]
+pub struct OooMachine {
+    program: Program,
+    config: OooConfig,
+    regs: [u32; NUM_REGS],
+    memory: Vec<u32>,
+    cache: CacheHierarchy,
+    pc: usize,
+    halted: bool,
+    /// Cycle each architectural register's newest value becomes ready.
+    reg_ready: [u64; NUM_REGS],
+    /// Completion times of in-flight (dispatched, unretired) work.
+    rob: VecDeque<u64>,
+    /// Retirement frontier.
+    last_retire: u64,
+    /// Next dispatch cycle and slots already used in it.
+    dispatch_cycle: u64,
+    dispatch_slots: usize,
+    instructions: u64,
+    /// (issue time, seq, value) for register-port traffic.
+    reg_events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// (completion time, seq, value) for memory data traffic.
+    mem_events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// (issue time, seq, vaddr) for address traffic.
+    addr_events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    predictor: BranchPredictor,
+    branches: u64,
+    mispredictions: u64,
+}
+
+impl OooMachine {
+    /// Creates the machine with zeroed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_words` is not a power of two, or `width`/`rob`
+    /// is zero.
+    pub fn new(program: Program, config: OooConfig) -> Self {
+        assert!(
+            config.memory_words.is_power_of_two(),
+            "memory size must be a power of two"
+        );
+        assert!(config.width >= 1, "dispatch width must be at least 1");
+        assert!(
+            config.rob >= 1,
+            "the reorder buffer needs at least one entry"
+        );
+        OooMachine {
+            program,
+            cache: CacheHierarchy::new(config.cache, config.l2, config.memory_latency),
+            memory: vec![0; config.memory_words],
+            config,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            halted: false,
+            reg_ready: [0; NUM_REGS],
+            rob: VecDeque::new(),
+            last_retire: 0,
+            dispatch_cycle: 1,
+            dispatch_slots: 0,
+            instructions: 0,
+            reg_events: BinaryHeap::new(),
+            mem_events: BinaryHeap::new(),
+            addr_events: BinaryHeap::new(),
+            seq: 0,
+            predictor: BranchPredictor::new(config.predictor_bits),
+            branches: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Overwrites memory starting at `addr` (word address, wrapping).
+    pub fn load_memory(&mut self, addr: usize, data: &[u32]) {
+        let mask = self.config.memory_words - 1;
+        for (i, &w) in data.iter().enumerate() {
+            self.memory[(addr + i) & mask] = w;
+        }
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current register values.
+    pub fn registers(&self) -> &[u32; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Data memory contents.
+    pub fn memory(&self) -> &[u32] {
+        &self.memory
+    }
+
+    /// Retires the oldest ROB entry, advancing the retirement frontier.
+    fn retire_one(&mut self) {
+        if let Some(completion) = self.rob.pop_front() {
+            self.last_retire = self.last_retire.max(completion);
+        }
+    }
+
+    /// Executes and schedules one instruction. Returns `false` on halt.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some(&instr) = self.program.instrs().get(self.pc) else {
+            self.halted = true;
+            return false;
+        };
+        let mask = self.config.memory_words - 1;
+        let out = exec::execute(instr, self.pc, &mut self.regs, &mut self.memory, mask);
+        if out.class == InstrClass::Halt {
+            self.halted = true;
+            return false;
+        }
+        self.instructions += 1;
+
+        // Dispatch: in-order, width per cycle, bounded by ROB occupancy.
+        if self.dispatch_slots == self.config.width {
+            self.dispatch_cycle += 1;
+            self.dispatch_slots = 0;
+        }
+        while self.rob.len() >= self.config.rob {
+            // Stall dispatch until the oldest in-flight op retires.
+            let oldest = *self.rob.front().expect("rob full");
+            self.dispatch_cycle = self.dispatch_cycle.max(oldest);
+            self.retire_one();
+        }
+        let dispatch = self.dispatch_cycle;
+        self.dispatch_slots += 1;
+
+        // Issue: operands ready and dispatched.
+        let mut issue = dispatch;
+        for read in out.reads.into_iter().flatten() {
+            issue = issue.max(self.reg_ready[usize::from(read.0)]);
+        }
+        // Register-port traffic is stamped at issue.
+        for read in out.reads.into_iter().flatten() {
+            self.reg_events.push(Reverse((issue, self.seq, read.1)));
+            self.seq += 1;
+        }
+
+        // Completion per class.
+        let completion = match out.class {
+            InstrClass::Alu => issue + self.config.alu_latency,
+            InstrClass::Fpu => issue + self.config.fpu_latency,
+            InstrClass::Load | InstrClass::Store => {
+                let m = out.mem.expect("memory class has an effect");
+                self.addr_events.push(Reverse((issue, self.seq, m.vaddr)));
+                self.seq += 1;
+                let lat = {
+                    let raw = self.cache.access(((m.vaddr as usize) & mask) as u64);
+                    if m.is_store {
+                        raw.min(self.config.cache.hit_latency)
+                    } else {
+                        raw
+                    }
+                };
+                let done = issue + lat;
+                self.mem_events.push(Reverse((done, self.seq, m.value)));
+                self.seq += 1;
+                done
+            }
+            InstrClass::Branch => {
+                let done = issue + 1;
+                self.branches += 1;
+                // The front end follows the predictor; only a wrong
+                // direction forces a fetch redirect after resolution.
+                // (self.pc still holds the branch's own address here.)
+                let predicted = self.predictor.predict(self.pc).unwrap_or(false);
+                let mispredicted = predicted != out.taken;
+                self.predictor.update(self.pc, out.taken);
+                if mispredicted {
+                    self.mispredictions += 1;
+                    self.dispatch_cycle =
+                        self.dispatch_cycle.max(done + self.config.branch_penalty);
+                    self.dispatch_slots = 0;
+                }
+                done
+            }
+            InstrClass::Halt => unreachable!("handled above"),
+        };
+        if let Some((rd, _)) = out.write {
+            if rd != 0 {
+                self.reg_ready[usize::from(rd)] = completion;
+            }
+        }
+        self.rob.push_back(completion);
+        self.pc = out.next_pc;
+        true
+    }
+
+    /// Runs until halt, the instruction budget, or both event targets.
+    pub fn run(
+        &mut self,
+        max_instructions: u64,
+        reg_values: usize,
+        mem_values: usize,
+    ) -> OooSummary {
+        let mut executed = 0u64;
+        while executed < max_instructions
+            && !(self.reg_events.len() >= reg_values && self.mem_events.len() >= mem_values)
+        {
+            if !self.step() {
+                break;
+            }
+            executed += 1;
+        }
+        while !self.rob.is_empty() {
+            self.retire_one();
+        }
+        OooSummary {
+            instructions: self.instructions,
+            cycles: self.last_retire.max(1),
+            ipc: self.instructions as f64 / self.last_retire.max(1) as f64,
+            branches: self.branches,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    fn drain(heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>) -> Trace {
+        let mut values = Vec::with_capacity(heap.len());
+        while let Some(Reverse((_, _, v))) = heap.pop() {
+            values.push(u64::from(v));
+        }
+        Trace::from_values(Width::W32, values)
+    }
+
+    /// The register-port trace (issue order).
+    pub fn take_register_trace(&mut self) -> Trace {
+        Self::drain(&mut self.reg_events)
+    }
+
+    /// The memory data-bus trace (completion order).
+    pub fn take_memory_trace(&mut self) -> Trace {
+        Self::drain(&mut self.mem_events)
+    }
+
+    /// The memory address-bus trace (issue order).
+    pub fn take_address_trace(&mut self) -> Trace {
+        Self::drain(&mut self.addr_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Cond};
+    use crate::program::ProgramBuilder;
+
+    fn machine(b: ProgramBuilder) -> OooMachine {
+        OooMachine::new(b.build().unwrap(), OooConfig::default())
+    }
+
+    #[test]
+    fn independent_ops_overlap() {
+        // Eight independent ALU ops on a 4-wide machine: ~2 cycles, not 8.
+        let mut b = ProgramBuilder::new();
+        for r in 1..9u8 {
+            b.li(r, u32::from(r));
+        }
+        b.halt();
+        let mut m = machine(b);
+        let s = m.run(1_000, usize::MAX, usize::MAX);
+        assert_eq!(s.instructions, 8);
+        assert!(s.cycles <= 4, "cycles {}", s.cycles);
+        assert!(s.ipc >= 2.0, "ipc {}", s.ipc);
+    }
+
+    #[test]
+    fn dependency_chains_serialize() {
+        // A 16-deep add chain cannot beat 1 IPC regardless of width.
+        let mut b = ProgramBuilder::new();
+        b.li(1, 1);
+        for _ in 0..16 {
+            b.alu(AluOp::Add, 1, 1, 1);
+        }
+        b.halt();
+        let mut m = machine(b);
+        let s = m.run(1_000, usize::MAX, usize::MAX);
+        assert!(s.cycles >= 16, "cycles {}", s.cycles);
+    }
+
+    #[test]
+    fn architectural_results_match_inorder_machine() {
+        use crate::machine::{Machine, MachineConfig};
+        // Same program on both machines: memory state must agree.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.li(1, 0);
+            b.li(2, 50);
+            b.place(top).unwrap();
+            b.alui(AluOp::Mul, 3, 1, 2654435761);
+            b.store(3, 1, 0x100);
+            b.alui(AluOp::Add, 1, 1, 1);
+            b.branch(Cond::Lt, 1, 2, top);
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut fast = Machine::new(build(), MachineConfig::default());
+        fast.run(10_000, usize::MAX, usize::MAX);
+        let mut ooo = OooMachine::new(build(), OooConfig::default());
+        ooo.run(10_000, usize::MAX, usize::MAX);
+        assert_eq!(
+            fast.memory()[0x100..0x100 + 50],
+            ooo.memory[0x100..0x100 + 50]
+        );
+    }
+
+    #[test]
+    fn cache_misses_reorder_memory_traffic() {
+        let mut b = ProgramBuilder::new();
+        b.li(1, 0x4000); // cold line
+        b.load(2, 1, 0); // miss: arrives late
+        b.li(3, 0xBEEF);
+        b.store(3, 0, 0); // store to a different cold line... also miss,
+                          // but store latency is clamped to the hit time.
+        b.halt();
+        let mut m = machine(b);
+        m.run(100, usize::MAX, usize::MAX);
+        let t = m.take_memory_trace();
+        assert_eq!(t.values(), &[0xBEEF, 0]);
+    }
+
+    #[test]
+    fn branch_predictor_hides_loop_bubbles() {
+        // A tight counted loop: the bimodal predictor learns "taken"
+        // after one trip, so only the exit mispredicts; without a
+        // predictor every taken branch pays the bubble.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.li(1, 0);
+            b.li(2, 200);
+            b.place(top).unwrap();
+            b.alui(AluOp::Add, 1, 1, 1);
+            b.branch(Cond::Lt, 1, 2, top);
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut with = OooMachine::new(build(), OooConfig::default());
+        let sw = with.run(10_000, usize::MAX, usize::MAX);
+        assert!(sw.branches >= 200);
+        assert!(
+            sw.mispredictions <= 3,
+            "a counted loop should mispredict only around entry/exit: {}",
+            sw.mispredictions
+        );
+
+        let mut without = OooMachine::new(
+            build(),
+            OooConfig {
+                predictor_bits: 0,
+                ..OooConfig::default()
+            },
+        );
+        let so = without.run(10_000, usize::MAX, usize::MAX);
+        assert!(
+            so.ipc < 1.0,
+            "predictor-less ipc {} should be bubble-limited",
+            so.ipc
+        );
+        assert!(
+            sw.ipc > so.ipc,
+            "prediction must help: {} vs {}",
+            sw.ipc,
+            so.ipc
+        );
+    }
+
+    #[test]
+    fn data_dependent_branches_mispredict() {
+        // Branch direction follows a pseudo-random bit: ~50% of branches
+        // must mispredict no matter the counter state.
+        let mut b = ProgramBuilder::new();
+        b.li(1, 0);
+        b.li(2, 400);
+        b.li(30, 0x1357_9BDF);
+        let top = b.label();
+        b.place(top).unwrap();
+        b.alui(AluOp::Mul, 30, 30, 1664525);
+        b.alui(AluOp::Add, 30, 30, 1013904223);
+        b.alui(AluOp::Srl, 3, 30, 31); // random bit
+        let skip = b.label();
+        b.branch(Cond::Eq, 3, 0, skip);
+        b.alui(AluOp::Add, 4, 4, 1);
+        b.place(skip).unwrap();
+        b.alui(AluOp::Add, 1, 1, 1);
+        b.branch(Cond::Lt, 1, 2, top);
+        b.halt();
+        let mut m = machine(b);
+        let s = m.run(100_000, usize::MAX, usize::MAX);
+        let rate = s.mispredictions as f64 / s.branches as f64;
+        assert!(rate > 0.15, "random branches should hurt: rate {rate}");
+    }
+
+    #[test]
+    fn rob_limits_runahead() {
+        // A long stream of independent loads from a cold, huge footprint:
+        // the ROB bounds how many 24-cycle misses overlap.
+        let mut b = ProgramBuilder::new();
+        b.li(1, 0);
+        let top = b.label();
+        b.place(top).unwrap();
+        for k in 0..8 {
+            b.load(2, 1, k * 1024);
+        }
+        b.alui(AluOp::Add, 1, 1, 64);
+        b.li(3, 4096);
+        b.branch(Cond::Lt, 1, 3, top);
+        b.halt();
+        let tight = OooConfig {
+            rob: 4,
+            ..OooConfig::default()
+        };
+        let wide = OooConfig {
+            rob: 128,
+            ..OooConfig::default()
+        };
+        let p = b.build().unwrap();
+        let mut a = OooMachine::new(p.clone(), tight);
+        let sa = a.run(100_000, usize::MAX, usize::MAX);
+        let mut c = OooMachine::new(p, wide);
+        let sc = c.run(100_000, usize::MAX, usize::MAX);
+        assert!(
+            sc.ipc > sa.ipc,
+            "bigger ROB must help: {} vs {}",
+            sc.ipc,
+            sa.ipc
+        );
+    }
+}

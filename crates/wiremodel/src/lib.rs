@@ -1,0 +1,45 @@
+//! Interconnect energy and delay models (paper Section 3).
+//!
+//! The paper characterizes long on-chip buses with two ingredients:
+//!
+//! 1. a **capacitance model** (Figure 3) splitting each wire's load into
+//!    wire-to-substrate capacitance `C_S` and inter-wire capacitance
+//!    `C_I`, whose ratio `λ = C_I / C_S` governs how much cross-coupling
+//!    events cost relative to plain transitions (Equation 1); and
+//! 2. a **repeater model** (Figure 4): long wires are driven through an
+//!    initial buffer cascade and uniformly spaced repeaters, trading
+//!    energy (repeater capacitance) for linear rather than quadratic
+//!    delay.
+//!
+//! The paper obtained its numbers from HSPICE over extracted layouts and
+//! Berkeley Predictive Technology Model device decks. This crate replaces
+//! that stack with a first-order distributed-RC model plus Bakoglu-style
+//! repeater insertion, with per-technology parameters calibrated so the
+//! quantities the paper actually consumes downstream — effective λ per
+//! technology (Table 1), energy-vs-length (Figure 5) and delay-vs-length
+//! (Figure 6) — land in the reported ranges. See DESIGN.md for the
+//! substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use wiremodel::{Technology, Wire, WireStyle};
+//!
+//! let tech = Technology::tech_013();
+//! let wire = Wire::new(tech, WireStyle::Repeated, 10.0)?;
+//! // Repeatered wires have linear delay and a small effective lambda.
+//! assert!(wire.lambda() < 1.0);
+//! assert!(wire.delay_ps() < 500.0);
+//! # Ok::<(), wiremodel::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod technology;
+mod wire;
+
+pub use energy::{BusEnergyModel, TransitionEnergy};
+pub use technology::{Technology, TechnologyKind};
+pub use wire::{RepeaterPlan, Wire, WireError, WireStyle};

@@ -1,0 +1,44 @@
+//! Explore the Window-design space: entries × technology → break-even
+//! wire length, the decision a physical designer would actually make.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use bench::schemes::window_outcome;
+use hwmodel::crossover::median;
+use simcpu::{Benchmark, BusKind};
+use wiremodel::{Technology, WireStyle};
+
+fn main() {
+    let entries_options = [4usize, 8, 16, 32];
+    println!("median break-even length (mm) over the SPECint register-bus suite\n");
+    print!("{:<10}", "entries");
+    for tech in Technology::all() {
+        print!("{:>10}", tech.kind.to_string());
+    }
+    println!();
+
+    for entries in entries_options {
+        print!("{entries:<10}");
+        for tech in Technology::all() {
+            let crossovers: Vec<f64> = Benchmark::spec_int()
+                .into_iter()
+                .filter_map(|b| {
+                    let trace = b.trace(BusKind::Register, 60_000, 3);
+                    window_outcome(&trace, entries, tech).crossover_mm(tech, WireStyle::Repeated)
+                })
+                .collect();
+            match median(crossovers) {
+                Some(mm) => print!("{mm:>9.1} "),
+                None => print!("{:>9} ", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("smaller is better: the transcoder pays off on shorter buses.");
+    println!("bigger dictionaries remove more transitions but burn more match energy;");
+    println!("shrinking technology makes wire energy relatively dearer, pulling the");
+    println!("break-even point in (the paper's central scaling argument).");
+}

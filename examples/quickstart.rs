@@ -1,0 +1,49 @@
+//! Quickstart: measure what an 8-entry window transcoder saves on a
+//! realistic register-bus trace, and where it breaks even.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bench::schemes::{baseline_activity, window_outcome};
+use buscoding::percent_energy_removed;
+use simcpu::{Benchmark, BusKind};
+use wiremodel::{Technology, Wire, WireStyle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Get bus traffic: run the gcc-like kernel and tap the register
+    //    file's read port for 100k values.
+    let trace = Benchmark::Gcc.trace(BusKind::Register, 100_000, 42);
+    println!("trace: {trace}");
+
+    // 2. Measure the un-encoded bus and the window-coded bus.
+    let outcome = window_outcome(&trace, 8, Technology::tech_013());
+    let removed = percent_energy_removed(&outcome.coded, &outcome.baseline, 1.0);
+    println!("window(8) removes {removed:.1}% of weighted bus transitions");
+    println!(
+        "transcoder hardware costs {:.2} pJ per value (both ends, 0.13um)",
+        outcome.transcoder_pj_per_value
+    );
+
+    // 3. Fold in the wire model: total energy normalized to the
+    //    un-encoded bus at a few wire lengths, and the break-even point.
+    for length in [3.0, 8.0, 15.0, 30.0] {
+        let wire = Wire::new(Technology::tech_013(), WireStyle::Repeated, length)?;
+        let normalized = outcome.normalized_total_energy(&wire);
+        println!("  at {length:>4.1} mm: total energy = {normalized:.2}x un-encoded");
+    }
+    match outcome.crossover_mm(Technology::tech_013(), WireStyle::Repeated) {
+        Some(mm) => println!("break-even length: {mm:.1} mm"),
+        None => println!("this traffic never breaks even"),
+    }
+
+    // 4. Sanity: the baseline alone (what the coder competes against).
+    let baseline = baseline_activity(&trace);
+    println!(
+        "baseline activity: {} transitions + {} coupling events over {} values",
+        baseline.tau(),
+        baseline.kappa(),
+        trace.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Compare every coding scheme of the paper on register-bus traffic
+//! from three very different kernels: pointer-chasing (gcc), tiny-value
+//! scanning (go), and floating-point stencil (swim).
+//!
+//! ```sh
+//! cargo run --release --example register_bus_study
+//! ```
+
+use bench::schemes::Scheme;
+use simcpu::{Benchmark, BusKind};
+
+fn main() {
+    let schemes = [
+        Scheme::Inversion {
+            chunks: 1,
+            design_lambda: 0.0,
+        },
+        Scheme::Inversion {
+            chunks: 6,
+            design_lambda: 1.0,
+        },
+        Scheme::Stride { strides: 8 },
+        Scheme::Window { entries: 8 },
+        Scheme::Window { entries: 16 },
+        Scheme::ContextValue {
+            table: 28,
+            shift: 8,
+            divide: 4096,
+        },
+        Scheme::ContextTransition {
+            table: 28,
+            shift: 8,
+            divide: 4096,
+        },
+    ];
+    let benchmarks = [Benchmark::Gcc, Benchmark::Go, Benchmark::Swim];
+
+    print!("{:<32}", "scheme \\ benchmark");
+    for b in benchmarks {
+        print!("{:>10}", b.name());
+    }
+    println!();
+    for scheme in schemes {
+        print!("{:<32}", scheme.name());
+        for b in benchmarks {
+            let trace = b.trace(BusKind::Register, 100_000, 7);
+            let removed = scheme.percent_removed(&trace, 1.0);
+            print!("{removed:>9.1}%");
+        }
+        println!();
+    }
+    println!();
+    println!("positive = energy removed relative to the un-encoded bus (lambda = 1)");
+}

@@ -1,0 +1,59 @@
+//! Determinism: identical configuration must reproduce identical CSV
+//! output, byte for byte — the property that makes every number in
+//! EXPERIMENTS.md re-checkable.
+
+use bench::experiments::{registry, Experiment};
+use bench::Ctx;
+
+fn run_csv(e: &Experiment, ctx: &Ctx) -> Vec<String> {
+    (e.run)(ctx).iter().map(|t| t.to_csv()).collect()
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let ctx = Ctx {
+        values: 8_000,
+        seed: 123,
+        out_dir: std::env::temp_dir(),
+    };
+    // A representative, cheap subset covering each experiment family.
+    for id in ["table1", "fig8", "fig17", "fig19", "table3"] {
+        let exps = registry();
+        let e = exps.iter().find(|e| e.id == id).expect("known id");
+        let a = run_csv(e, &ctx);
+        let b = run_csv(e, &ctx);
+        assert_eq!(a, b, "{id}: two runs with the same seed diverged");
+    }
+}
+
+#[test]
+fn seed_changes_the_data_but_not_the_shape() {
+    let exps = registry();
+    let e = exps.iter().find(|e| e.id == "fig19").expect("known id");
+    let a = run_csv(
+        e,
+        &Ctx {
+            values: 8_000,
+            seed: 1,
+            out_dir: std::env::temp_dir(),
+        },
+    );
+    let b = run_csv(
+        e,
+        &Ctx {
+            values: 8_000,
+            seed: 2,
+            out_dir: std::env::temp_dir(),
+        },
+    );
+    assert_ne!(
+        a, b,
+        "different seeds should produce different measurements"
+    );
+    assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a[0].lines().count(),
+        b[0].lines().count(),
+        "same table shape"
+    );
+}

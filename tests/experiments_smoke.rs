@@ -1,0 +1,42 @@
+//! Every registered experiment runs end-to-end at a tiny trace length:
+//! no panics, non-empty tables, CSV well-formedness (via the Table
+//! constructor's own checks), and unique ids.
+
+use std::collections::HashSet;
+
+use bench::experiments::registry;
+use bench::Ctx;
+
+#[test]
+fn every_experiment_runs_and_produces_rows() {
+    let ctx = Ctx {
+        values: 2_000,
+        seed: 3,
+        out_dir: std::env::temp_dir(),
+    };
+    let mut ids = HashSet::new();
+    for e in registry() {
+        assert!(ids.insert(e.id), "duplicate experiment id {}", e.id);
+        let tables = (e.run)(&ctx);
+        assert!(!tables.is_empty(), "{} produced no tables", e.id);
+        for t in tables {
+            assert!(
+                !t.rows.is_empty(),
+                "{} produced an empty table {}",
+                e.id,
+                t.id
+            );
+            assert!(!t.header.is_empty());
+            // Every row parses back out of the CSV with the same arity.
+            let csv = t.to_csv();
+            for line in csv.lines().skip(1) {
+                assert_eq!(
+                    line.split(',').count(),
+                    t.header.len(),
+                    "{}: ragged CSV line {line:?}",
+                    t.id
+                );
+            }
+        }
+    }
+}
