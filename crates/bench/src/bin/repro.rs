@@ -1,24 +1,37 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list                 # show every experiment
-//! repro fig18 table3 ...     # run selected experiments
-//! repro all                  # run everything
+//! repro list                   # show every experiment
+//! repro fig18 table3 ...       # run selected experiments
+//! repro all                    # run everything
+//! repro --metrics fig18        # also record instrumentation metrics
+//! repro metrics-check [file]   # validate a metrics.jsonl file
 //! ```
 //!
 //! Environment: `REPRO_VALUES` (trace length, default 200000),
 //! `REPRO_SEED` (default 1), `REPRO_OUT` (CSV directory, default
-//! `results/`). Figure-class experiments additionally render SVG charts
-//! into `<out>/plots/`.
+//! `results/`), `REPRO_METRICS=1` (same as `--metrics`). Figure-class
+//! experiments additionally render SVG charts into `<out>/plots/`.
+//!
+//! With metrics on, each experiment appends one JSON record to
+//! `<out>/metrics.jsonl` and prints a per-probe summary table on
+//! stderr; see `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use bench::experiments::{registry, Experiment};
-use bench::Ctx;
+use bench::{metrics, Ctx};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_on = busprobe::init_from_env();
+    if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        busprobe::set_enabled(true);
+        metrics_on = true;
+    }
+
     let experiments = registry();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage(&experiments);
@@ -29,6 +42,22 @@ fn main() -> ExitCode {
             println!("{:<22} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "metrics-check" {
+        let file = args
+            .get(1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| metrics::path(&Ctx::from_env()));
+        return match metrics::check_file(&file) {
+            Ok(n) => {
+                eprintln!("{}: {n} valid metric record(s)", file.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("metrics-check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let selected: Vec<&Experiment> = if args.iter().any(|a| a == "all") {
@@ -49,15 +78,25 @@ fn main() -> ExitCode {
 
     let ctx = Ctx::from_env();
     eprintln!(
-        "running {} experiment(s): {} values/trace, seed {}, output {}",
+        "running {} experiment(s): {} values/trace, seed {}, output {}{}",
         selected.len(),
         ctx.values,
         ctx.seed,
-        ctx.out_dir.display()
+        ctx.out_dir.display(),
+        if metrics_on { ", metrics on" } else { "" }
     );
-    for e in selected {
+    let total = selected.len();
+    let grand_start = Instant::now();
+    let mut grand_tables = 0usize;
+    let mut grand_rows = 0u64;
+    for e in &selected {
+        if metrics_on {
+            // Each record carries only its own experiment's counts.
+            busprobe::reset();
+        }
         let start = Instant::now();
         let tables = (e.run)(&ctx);
+        let rows: u64 = tables.iter().map(|t| t.rows.len() as u64).sum();
         for table in &tables {
             print!("{}", table.to_console());
             if let Err(err) = table.write_csv(&ctx.out_dir) {
@@ -75,13 +114,41 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("[{}] done in {:.1}s", e.id, start.elapsed().as_secs_f64());
+        let wall_s = start.elapsed().as_secs_f64();
+        grand_tables += tables.len();
+        grand_rows += rows;
+        eprintln!(
+            "[{}] done in {:.1}s: {} table(s), {} row(s)",
+            e.id,
+            wall_s,
+            tables.len(),
+            rows
+        );
+        if metrics_on {
+            busprobe::counter("bench.experiment.rows").add(rows);
+            busprobe::histogram("bench.experiment.wall_ms", busprobe::DEFAULT_BOUNDS)
+                .observe((wall_s * 1000.0) as u64);
+            eprint!("{}", metrics::summary(e.id));
+            match metrics::emit(&ctx, e.id, wall_s, rows) {
+                Ok(file) => eprintln!("[{}] metrics appended to {}", e.id, file.display()),
+                Err(err) => eprintln!("warning: could not write metrics for {}: {err}", e.id),
+            }
+        }
+    }
+    if total > 1 {
+        eprintln!(
+            "[all] {} experiment(s) done in {:.1}s: {} table(s), {} row(s)",
+            total,
+            grand_start.elapsed().as_secs_f64(),
+            grand_tables,
+            grand_rows
+        );
     }
     ExitCode::SUCCESS
 }
 
 fn print_usage(experiments: &[Experiment]) {
-    println!("usage: repro <experiment>... | all | list");
+    println!("usage: repro [--metrics] <experiment>... | all | list | metrics-check [file]");
     println!("experiments:");
     for e in experiments {
         println!("  {:<22} {}", e.id, e.title);

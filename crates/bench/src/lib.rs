@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod metrics;
 pub mod plot;
 pub mod report;
 pub mod schemes;
@@ -31,16 +32,12 @@ pub struct Ctx {
 impl Ctx {
     /// Configuration from the environment: `REPRO_VALUES` (default
     /// 200 000), `REPRO_SEED` (default 1), `REPRO_OUT` (default
-    /// `results/`).
+    /// `results/`). A malformed `REPRO_VALUES` or `REPRO_SEED` is
+    /// reported on stderr and the default used — a typo must not
+    /// silently change the experiment size.
     pub fn from_env() -> Self {
-        let values = std::env::var("REPRO_VALUES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200_000);
-        let seed = std::env::var("REPRO_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1);
+        let values = parse_env("REPRO_VALUES", 200_000usize);
+        let seed = parse_env("REPRO_SEED", 1u64);
         let out_dir = std::env::var("REPRO_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| "results".into());
@@ -48,6 +45,28 @@ impl Ctx {
             values,
             seed,
             out_dir,
+        }
+    }
+}
+
+/// Parses an environment variable, warning (rather than silently
+/// ignoring) when it is set but unusable.
+fn parse_env<T>(var: &str, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: {var}={raw:?} is not a valid value; using default {default}");
+                default
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: {var} is not valid unicode; using default {default}");
+            default
         }
     }
 }

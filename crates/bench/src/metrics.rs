@@ -1,0 +1,141 @@
+//! Metrics emission and validation for the experiment runner.
+//!
+//! With metrics enabled (`--metrics` or `REPRO_METRICS=1`), `repro`
+//! appends one JSON object per experiment to `<out>/metrics.jsonl` and
+//! prints a human-readable summary table on stderr. The registry is
+//! reset between experiments, so each line carries that experiment's
+//! own counts. See `docs/OBSERVABILITY.md` for the line format and the
+//! metric naming convention.
+
+use std::path::{Path, PathBuf};
+
+use busprobe::JsonValue;
+
+use crate::Ctx;
+
+/// Where the runner streams metric records for this configuration.
+pub fn path(ctx: &Ctx) -> PathBuf {
+    ctx.out_dir.join("metrics.jsonl")
+}
+
+/// Snapshots the probe registry and appends one record for `experiment`
+/// to [`path`], creating directories as needed. Returns the file
+/// written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or appending to the file.
+pub fn emit(ctx: &Ctx, experiment: &str, wall_s: f64, rows: u64) -> std::io::Result<PathBuf> {
+    let snaps = busprobe::snapshot();
+    let record = JsonValue::Obj(vec![
+        ("experiment".into(), JsonValue::Str(experiment.into())),
+        ("wall_s".into(), JsonValue::Num(wall_s)),
+        ("values".into(), JsonValue::Int(ctx.values as i64)),
+        ("seed".into(), JsonValue::Int(ctx.seed as i64)),
+        ("rows".into(), JsonValue::Int(rows as i64)),
+        ("metrics".into(), busprobe::snapshot_to_json(&snaps)),
+    ]);
+    let file = path(ctx);
+    busprobe::append_jsonl(&file, &record)?;
+    Ok(file)
+}
+
+/// Renders the current registry as the stderr summary block shown after
+/// each experiment.
+pub fn summary(experiment: &str) -> String {
+    let snaps = busprobe::snapshot();
+    format!(
+        "--- metrics [{experiment}] ---\n{}",
+        busprobe::render_summary(&snaps)
+    )
+}
+
+/// Validates a metrics.jsonl file: every non-empty line must be a JSON
+/// object with a string `experiment` and an object `metrics`. Returns
+/// the number of records.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found
+/// (unreadable file, empty file, malformed line, or missing key).
+pub fn check_file(file: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let mut records = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = busprobe::json::parse(line)
+            .map_err(|e| format!("{}:{}: {e}", file.display(), lineno + 1))?;
+        let experiment = value.get("experiment").and_then(JsonValue::as_str);
+        if experiment.is_none() {
+            return Err(format!(
+                "{}:{}: record lacks a string `experiment` field",
+                file.display(),
+                lineno + 1
+            ));
+        }
+        if value.get("metrics").and_then(JsonValue::entries).is_none() {
+            return Err(format!(
+                "{}:{}: record lacks an object `metrics` field",
+                file.display(),
+                lineno + 1
+            ));
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err(format!("{} contains no metric records", file.display()));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("busprobe-metrics-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn check_rejects_missing_and_malformed() {
+        let dir = tmp_dir("check");
+        let f = dir.join("missing.jsonl");
+        assert!(check_file(&f).is_err());
+
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(check_file(&bad).unwrap_err().contains("bad.jsonl:1"));
+
+        let keyless = dir.join("keyless.jsonl");
+        std::fs::write(&keyless, "{\"wall_s\":1.0}\n").unwrap();
+        assert!(check_file(&keyless).unwrap_err().contains("experiment"));
+
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "\n\n").unwrap();
+        assert!(check_file(&empty)
+            .unwrap_err()
+            .contains("no metric records"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_accepts_emitted_records() {
+        let dir = tmp_dir("emit");
+        let ctx = Ctx {
+            values: 10,
+            seed: 3,
+            out_dir: dir.clone(),
+        };
+        let file = emit(&ctx, "figX", 0.5, 4).unwrap();
+        let n = check_file(&file).unwrap();
+        assert_eq!(n, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

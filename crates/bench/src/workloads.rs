@@ -26,6 +26,10 @@ impl Workload {
     /// Produces `values` words of this workload, deterministically per
     /// seed.
     pub fn trace(&self, values: usize, seed: u64) -> Trace {
+        static TRACES: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("bench.workload.traces");
+        let _span = busprobe::span("bench.workload.trace");
+        TRACES.inc();
         match self {
             Workload::Bench(b, bus) => b.trace(*bus, values, seed),
             Workload::Random => UniformRandomGen::new(Width::W32, seed).generate(values),

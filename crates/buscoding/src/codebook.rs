@@ -47,6 +47,10 @@ impl CodeBook {
     /// Panics if `lines` is not in `1..=64`, or if `count` exceeds the
     /// number of distinct codewords (`2^lines`), or if `count` is zero.
     pub fn new(lines: u32, count: usize, cost: CostModel) -> Self {
+        static BUILDS: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("buscoding.codebook.builds");
+        let _span = busprobe::span("buscoding.codebook.build");
+        BUILDS.inc();
         assert!(
             (1..=64).contains(&lines),
             "line count must be in 1..=64, got {lines}"
@@ -173,7 +177,16 @@ impl CodeBook {
     /// The rank whose codeword is `code`, if `code` is in the book —
     /// the decoder-side inverse of [`code`](Self::code).
     pub fn rank_of(&self, code: u64) -> Option<usize> {
-        self.ranks.get(&code).copied()
+        static LOOKUPS: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("buscoding.codebook.lookups");
+        static UNKNOWN: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("buscoding.codebook.unknown");
+        LOOKUPS.inc();
+        let rank = self.ranks.get(&code).copied();
+        if rank.is_none() {
+            UNKNOWN.inc();
+        }
+        rank
     }
 
     /// All codewords in rank order.

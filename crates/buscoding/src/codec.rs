@@ -106,11 +106,16 @@ impl Error for RoundTripError {}
 /// assert_eq!(activity.tau(), 2);
 /// ```
 pub fn evaluate<E: Encoder + ?Sized>(encoder: &mut E, trace: &Trace) -> Activity {
+    let _span = busprobe::span("buscoding.codec.evaluate");
     encoder.reset();
     let mut activity = Activity::new(encoder.lines());
     activity.step(0); // power-on state: all lines low
     for value in trace.iter() {
         activity.step(encoder.encode(value));
+    }
+    if busprobe::enabled() {
+        busprobe::counter("buscoding.codec.evaluate_calls").inc();
+        busprobe::counter("buscoding.codec.values_encoded").add(trace.len() as u64);
     }
     activity
 }
@@ -131,6 +136,7 @@ where
     E: Encoder + ?Sized,
     D: Decoder + ?Sized,
 {
+    let _span = busprobe::span("buscoding.codec.verify_roundtrip");
     if encoder.lines() != decoder.lines() {
         return Err(RoundTripError::new(format!(
             "encoder drives {} lines but decoder expects {}",
@@ -149,6 +155,10 @@ where
             ))
             .at_step(i as u64));
         }
+    }
+    if busprobe::enabled() {
+        busprobe::counter("buscoding.codec.roundtrip_calls").inc();
+        busprobe::counter("buscoding.codec.values_decoded").add(trace.len() as u64);
     }
     Ok(())
 }

@@ -265,8 +265,27 @@ pub enum EncodeOutcome {
     MissInverted,
 }
 
+/// Predictor accuracy probes, shared by every predictive scheme. Static
+/// handles memoize the registry lookup, so the enabled-path cost is one
+/// atomic add and the disabled path a single flag load.
+static PROBE_HIT_LAST: busprobe::StaticCounter =
+    busprobe::StaticCounter::new("buscoding.predict.hit_last");
+static PROBE_HIT_RANKED: busprobe::StaticCounter =
+    busprobe::StaticCounter::new("buscoding.predict.hit_ranked");
+static PROBE_MISS: busprobe::StaticCounter = busprobe::StaticCounter::new("buscoding.predict.miss");
+static PROBE_HIT_RANK: busprobe::StaticHistogram =
+    busprobe::StaticHistogram::new("buscoding.predict.hit_rank", &[0, 1, 2, 4, 8, 16, 32]);
+
 impl<P> PredictiveEncoder<P> {
     fn set_outcome(&mut self, outcome: EncodeOutcome) {
+        match outcome {
+            EncodeOutcome::Hit { rank: 0 } => PROBE_HIT_LAST.inc(),
+            EncodeOutcome::Hit { rank } => {
+                PROBE_HIT_RANKED.inc();
+                PROBE_HIT_RANK.observe(rank as u64);
+            }
+            EncodeOutcome::MissRaw | EncodeOutcome::MissInverted => PROBE_MISS.inc(),
+        }
         self.last_outcome = Some(outcome);
     }
 }

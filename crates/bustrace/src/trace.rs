@@ -49,7 +49,13 @@ impl Trace {
     where
         I: IntoIterator<Item = Word>,
     {
-        let values = values.into_iter().map(|v| width.truncate(v)).collect();
+        static TRACES: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("bustrace.trace.created");
+        static WORDS: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("bustrace.trace.words");
+        let values: Vec<Word> = values.into_iter().map(|v| width.truncate(v)).collect();
+        TRACES.inc();
+        WORDS.add(values.len() as u64);
         Trace { width, values }
     }
 

@@ -97,6 +97,10 @@ impl CodingOutcome {
     /// the scheme never breaks even (it saved no wire energy) or the
     /// break-even point is beyond any plausible die (1000 mm).
     pub fn crossover_mm(&self, tech: Technology, style: WireStyle) -> Option<f64> {
+        static SOLVES: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("hwmodel.crossover.solves");
+        let _span = busprobe::span("hwmodel.crossover.solve");
+        SOLVES.inc();
         let saved_per_mm = self.saved_pj_per_value_per_mm(tech, style);
         if saved_per_mm <= 0.0 {
             return None;

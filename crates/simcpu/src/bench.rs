@@ -185,6 +185,7 @@ impl Benchmark {
     /// Panics if the kernel fails to produce enough traffic within a
     /// generous instruction budget — which would be a kernel bug.
     pub fn trace_ooo(self, bus: BusKind, values: usize, seed: u64, config: OooConfig) -> Trace {
+        let _span = busprobe::span("simcpu.bench.trace_ooo");
         let spec = self.kernel(seed);
         let mut machine = OooMachine::new(spec.program, config);
         machine.load_memory(0, &spec.memory);
@@ -223,6 +224,7 @@ impl Benchmark {
         seed: u64,
         config: MachineConfig,
     ) -> Trace {
+        let _span = busprobe::span("simcpu.bench.trace");
         let spec = self.kernel(seed);
         let mut machine = Machine::new(spec.program, config);
         machine.load_memory(0, &spec.memory);

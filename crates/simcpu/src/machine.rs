@@ -308,6 +308,10 @@ impl Machine {
         reg_values: usize,
         mem_values: usize,
     ) -> RunSummary {
+        let _span = busprobe::span("simcpu.machine.run");
+        // Probe bookkeeping happens as before/after deltas so the
+        // per-instruction loop carries zero instrumentation cost.
+        let probe_base = busprobe::enabled().then(|| self.probe_state());
         let start = self.cycle;
         let mut executed = 0u64;
         let stop = loop {
@@ -324,6 +328,9 @@ impl Machine {
             }
             executed += 1;
         };
+        if let Some(base) = probe_base {
+            self.record_probe_deltas(base);
+        }
         RunSummary {
             instructions: executed,
             cycles: self.cycle - start,
@@ -331,6 +338,40 @@ impl Machine {
             cache_hit_rate: self.cache.l1().hit_rate(),
             mix: self.mix,
         }
+    }
+
+    /// Counter values captured before a run, for delta accounting.
+    fn probe_state(&self) -> [u64; 8] {
+        let (l2h, l2m) = self
+            .cache
+            .l2()
+            .map_or((0, 0), |l2| (l2.hits(), l2.misses()));
+        [
+            self.mix.total(),
+            self.cache.l1().hits(),
+            self.cache.l1().misses(),
+            l2h,
+            l2m,
+            self.reg_bus.len() as u64,
+            self.mem_seq,
+            self.addr_bus.len() as u64,
+        ]
+    }
+
+    /// Publishes the difference between now and `base` to the registry.
+    fn record_probe_deltas(&self, base: [u64; 8]) {
+        let now = self.probe_state();
+        let d = |i: usize| now[i] - base[i];
+        busprobe::counter("simcpu.machine.instructions").add(d(0));
+        busprobe::counter("simcpu.cache.l1.hits").add(d(1));
+        busprobe::counter("simcpu.cache.l1.misses").add(d(2));
+        if self.cache.l2().is_some() {
+            busprobe::counter("simcpu.cache.l2.hits").add(d(3));
+            busprobe::counter("simcpu.cache.l2.misses").add(d(4));
+        }
+        busprobe::counter("simcpu.bus.register.words").add(d(5));
+        busprobe::counter("simcpu.bus.memory.words").add(d(6));
+        busprobe::counter("simcpu.bus.address.words").add(d(7));
     }
 
     /// Takes the register-bus trace collected so far.

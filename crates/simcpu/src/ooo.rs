@@ -85,6 +85,9 @@ pub struct OooSummary {
     pub branches: u64,
     /// Branches whose direction the predictor got wrong.
     pub mispredictions: u64,
+    /// Dispatch stalls taken because the reorder buffer was full (one
+    /// per instruction forced to wait for a retirement slot).
+    pub rob_stalls: u64,
 }
 
 /// A PC-indexed table of 2-bit saturating counters — the classic bimodal
@@ -169,6 +172,7 @@ pub struct OooMachine {
     predictor: BranchPredictor,
     branches: u64,
     mispredictions: u64,
+    rob_stalls: u64,
 }
 
 impl OooMachine {
@@ -209,6 +213,7 @@ impl OooMachine {
             predictor: BranchPredictor::new(config.predictor_bits),
             branches: 0,
             mispredictions: 0,
+            rob_stalls: 0,
         }
     }
 
@@ -263,6 +268,9 @@ impl OooMachine {
         if self.dispatch_slots == self.config.width {
             self.dispatch_cycle += 1;
             self.dispatch_slots = 0;
+        }
+        if self.rob.len() >= self.config.rob {
+            self.rob_stalls += 1;
         }
         while self.rob.len() >= self.config.rob {
             // Stall dispatch until the oldest in-flight op retires.
@@ -341,6 +349,9 @@ impl OooMachine {
         reg_values: usize,
         mem_values: usize,
     ) -> OooSummary {
+        let _span = busprobe::span("simcpu.ooo.run");
+        // Deltas before/after keep the dispatch loop probe-free.
+        let probe_base = busprobe::enabled().then(|| self.probe_state());
         let mut executed = 0u64;
         while executed < max_instructions
             && !(self.reg_events.len() >= reg_values && self.mem_events.len() >= mem_values)
@@ -353,13 +364,41 @@ impl OooMachine {
         while !self.rob.is_empty() {
             self.retire_one();
         }
+        if let Some(base) = probe_base {
+            self.record_probe_deltas(base);
+        }
         OooSummary {
             instructions: self.instructions,
             cycles: self.last_retire.max(1),
             ipc: self.instructions as f64 / self.last_retire.max(1) as f64,
             branches: self.branches,
             mispredictions: self.mispredictions,
+            rob_stalls: self.rob_stalls,
         }
+    }
+
+    /// Counter values captured before a run, for delta accounting.
+    fn probe_state(&self) -> [u64; 6] {
+        [
+            self.instructions,
+            self.branches,
+            self.mispredictions,
+            self.rob_stalls,
+            self.cache.l1().hits(),
+            self.cache.l1().misses(),
+        ]
+    }
+
+    /// Publishes the difference between now and `base` to the registry.
+    fn record_probe_deltas(&self, base: [u64; 6]) {
+        let now = self.probe_state();
+        let d = |i: usize| now[i] - base[i];
+        busprobe::counter("simcpu.ooo.instructions").add(d(0));
+        busprobe::counter("simcpu.ooo.branches").add(d(1));
+        busprobe::counter("simcpu.ooo.mispredictions").add(d(2));
+        busprobe::counter("simcpu.ooo.rob_stalls").add(d(3));
+        busprobe::counter("simcpu.cache.l1.hits").add(d(4));
+        busprobe::counter("simcpu.cache.l1.misses").add(d(5));
     }
 
     fn drain(heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>) -> Trace {

@@ -82,6 +82,9 @@ impl Wire {
     /// Returns [`WireError`] if the length is not finite, not positive,
     /// or implausibly long (> 1000 mm — longer than any die).
     pub fn new(tech: Technology, style: WireStyle, length_mm: f64) -> Result<Self, WireError> {
+        static BUILDS: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("wiremodel.wire.builds");
+        BUILDS.inc();
         if !length_mm.is_finite() || length_mm <= 0.0 || length_mm > 1000.0 {
             return Err(WireError { length_mm });
         }
@@ -99,6 +102,12 @@ impl Wire {
 
     /// Bakoglu sizing backed off by the technology's derating factor.
     fn plan_repeaters(tech: &Technology, length_mm: f64) -> RepeaterPlan {
+        static SOLVES: busprobe::StaticCounter =
+            busprobe::StaticCounter::new("wiremodel.repeater.solves");
+        static SEGMENTS: busprobe::StaticHistogram =
+            busprobe::StaticHistogram::new("wiremodel.repeater.segments", &[1, 2, 4, 8, 16, 32]);
+        let _span = busprobe::span("wiremodel.repeater.plan");
+        SOLVES.inc();
         let r = tech.wire_r_ohm_per_mm;
         let c = tech.wire_c_total_ff_per_mm() * 1e-15; // F/mm
         let r0 = tech.inv_r_ohm;
@@ -107,6 +116,7 @@ impl Wire {
         let k_opt = length_mm * (0.4 * r * c / (0.7 * r0 * c0)).sqrt();
         let h = (r0 * c / (r * c0)).sqrt();
         let segments = (tech.repeater_derating * k_opt).round().max(1.0) as u32;
+        SEGMENTS.observe(u64::from(segments));
         let per_repeater_ff = h * (tech.inv_cin_ff + tech.inv_cpar_ff);
         let added_cap_ff_per_mm = f64::from(segments) * per_repeater_ff / length_mm;
         RepeaterPlan {

@@ -1,0 +1,117 @@
+//! End-to-end check of the metrics pipeline: running `repro` with
+//! `--metrics` must produce a parseable `metrics.jsonl` whose records
+//! carry the expected keys and at least one probe from the harness.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use busprobe::JsonValue;
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-metrics-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_repro(out: &PathBuf, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("REPRO_VALUES", "2000")
+        .env("REPRO_SEED", "1")
+        .env("REPRO_OUT", out)
+        .env_remove("REPRO_METRICS")
+        .output()
+        .expect("repro should launch")
+}
+
+#[test]
+fn fig5_metrics_jsonl_is_valid_and_complete() {
+    let out = out_dir("fig5");
+    let result = run_repro(&out, &["--metrics", "fig5"]);
+    assert!(
+        result.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("--- metrics [fig5] ---"),
+        "missing stderr summary table:\n{stderr}"
+    );
+
+    let text = std::fs::read_to_string(out.join("metrics.jsonl")).expect("metrics.jsonl written");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 1, "one experiment, one record: {text:?}");
+
+    let record = busprobe::json::parse(lines[0]).expect("line parses as JSON");
+    assert_eq!(
+        record.get("experiment").and_then(JsonValue::as_str),
+        Some("fig5")
+    );
+    for key in ["wall_s", "values", "seed", "rows"] {
+        assert!(
+            record.get(key).and_then(JsonValue::as_f64).is_some(),
+            "record lacks numeric `{key}`: {record}"
+        );
+    }
+    assert_eq!(record.get("values").and_then(JsonValue::as_u64), Some(2000));
+
+    let metrics = record
+        .get("metrics")
+        .and_then(JsonValue::entries)
+        .expect("metrics object");
+    assert!(!metrics.is_empty(), "metrics object is empty");
+    // The harness itself must contribute a counter, whatever the
+    // experiment exercised.
+    let rows = record
+        .get("metrics")
+        .and_then(|m| m.get("bench.experiment.rows"))
+        .and_then(JsonValue::as_u64)
+        .expect("bench.experiment.rows counter present");
+    assert!(rows > 0, "fig5 produced rows");
+    // fig5 sweeps wire lengths, so the wiremodel probes must have fired.
+    assert!(
+        metrics.iter().any(|(k, _)| k == "wiremodel.wire.builds"),
+        "expected wiremodel.wire.builds in {metrics:?}"
+    );
+
+    let check = run_repro(&out, &["metrics-check"]);
+    assert!(
+        check.status.success(),
+        "metrics-check rejected the file: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn metrics_off_keeps_output_clean() {
+    let out = out_dir("off");
+    let result = run_repro(&out, &["fig5"]);
+    assert!(result.status.success());
+    assert!(
+        !out.join("metrics.jsonl").exists(),
+        "metrics.jsonl must not appear without --metrics"
+    );
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(!stderr.contains("--- metrics"), "no summary expected");
+    // The per-experiment timing line is always printed.
+    assert!(
+        stderr.contains("[fig5] done in") && stderr.contains("row(s)"),
+        "timing summary missing:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn metrics_check_fails_on_malformed_file() {
+    let out = out_dir("bad");
+    std::fs::create_dir_all(&out).unwrap();
+    std::fs::write(out.join("metrics.jsonl"), "{\"not\": \"a record\"}\n").unwrap();
+    let check = run_repro(&out, &["metrics-check"]);
+    assert!(
+        !check.status.success(),
+        "metrics-check must reject records without the required keys"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}

@@ -1,0 +1,19 @@
+//! Offline vendored stub of `serde`.
+//!
+//! The workspace uses serde only as derive annotations on config and
+//! report structs — nothing in the tree serializes (no serde_json, no
+//! bincode). This stub keeps those annotations compiling in a container
+//! with no network access: the traits exist (empty) and the derives
+//! expand to nothing. Swap back to the real crates if serialization is
+//! ever exercised.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing actually serializes (there is no serde_json
+//! in the dependency tree). These derives therefore expand to nothing:
+//! the attribute stays valid, no trait impl is generated, and no code
+//! can depend on one existing. If a future change starts serializing
+//! for real, replace the `vendor/` stubs with the real crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
