@@ -17,6 +17,7 @@
 //! `<out>/metrics.jsonl` and prints a per-probe summary table on
 //! stderr; see `docs/OBSERVABILITY.md`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -89,13 +90,29 @@ fn main() -> ExitCode {
     let grand_start = Instant::now();
     let mut grand_tables = 0usize;
     let mut grand_rows = 0u64;
+    let mut failed: Vec<&str> = Vec::new();
     for e in &selected {
         if metrics_on {
             // Each record carries only its own experiment's counts.
             busprobe::reset();
         }
         let start = Instant::now();
-        let tables = (e.run)(&ctx);
+        // A panicking experiment must not take the rest of the run down
+        // with it: report it, skip its tables, keep going, and fail the
+        // process at the end.
+        let tables = match catch_unwind(AssertUnwindSafe(|| (e.run)(&ctx))) {
+            Ok(tables) => tables,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("[{}] FAILED: experiment panicked: {msg}", e.id);
+                failed.push(e.id);
+                continue;
+            }
+        };
         let rows: u64 = tables.iter().map(|t| t.rows.len() as u64).sum();
         for table in &tables {
             print!("{}", table.to_console());
@@ -143,6 +160,14 @@ fn main() -> ExitCode {
             grand_tables,
             grand_rows
         );
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "{} experiment(s) FAILED: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -6,6 +6,7 @@ pub mod circuits;
 pub mod coding;
 pub mod crossover;
 pub mod extensions;
+pub mod faults;
 pub mod traces;
 pub mod wires;
 
@@ -214,6 +215,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ext-desync",
             title: "Bit-flip desync robustness",
             run: extensions::desync,
+        },
+        Experiment {
+            id: "fault-sweep",
+            title: "Fault injection: upset sweep, recovery, resync energy tax",
+            run: faults::fault_sweep,
         },
         Experiment {
             id: "ext-reorder",

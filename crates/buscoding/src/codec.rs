@@ -49,6 +49,34 @@ pub trait Decoder {
     fn reset(&mut self);
 }
 
+impl<E: Encoder + ?Sized> Encoder for Box<E> {
+    fn lines(&self) -> u32 {
+        (**self).lines()
+    }
+
+    fn encode(&mut self, value: Word) -> u64 {
+        (**self).encode(value)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+impl<D: Decoder + ?Sized> Decoder for Box<D> {
+    fn lines(&self) -> u32 {
+        (**self).lines()
+    }
+
+    fn decode(&mut self, bus_state: u64) -> Result<Word, RoundTripError> {
+        (**self).decode(bus_state)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
 /// Error reported when a decoder observes a bus state inconsistent with
 /// its synchronized model of the encoder.
 #[derive(Debug, Clone, PartialEq, Eq)]

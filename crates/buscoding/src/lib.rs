@@ -50,6 +50,7 @@
 pub mod energy;
 pub mod inversion;
 pub mod predict;
+pub mod robust;
 pub mod spatial;
 pub mod varlen;
 pub mod wireorder;

@@ -33,9 +33,34 @@ pub enum ReadTraceError {
     BadLine {
         /// 1-based line number.
         line: usize,
-        /// The offending content.
+        /// The offending content, clipped to [`BAD_LINE_CLIP`] characters
+        /// so a pathological input cannot balloon the error message.
         content: String,
     },
+    /// The input holds more words than the configured limit — a guard
+    /// against accidentally feeding a multi-gigabyte file to an
+    /// in-memory reader.
+    TooManyWords {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+/// Maximum characters of a bad line quoted in [`ReadTraceError::BadLine`].
+pub const BAD_LINE_CLIP: usize = 80;
+
+/// Default word-count cap applied by [`read_trace`]; use
+/// [`read_trace_with_limit`] to raise or lower it.
+pub const DEFAULT_MAX_WORDS: usize = 64 * 1024 * 1024;
+
+/// Clips `text` to [`BAD_LINE_CLIP`] characters, marking the cut.
+fn clip(text: &str) -> String {
+    if text.chars().count() <= BAD_LINE_CLIP {
+        return text.to_string();
+    }
+    let mut s: String = text.chars().take(BAD_LINE_CLIP).collect();
+    s.push('…');
+    s
 }
 
 impl fmt::Display for ReadTraceError {
@@ -45,6 +70,9 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
             ReadTraceError::BadLine { line, content } => {
                 write!(f, "bad trace value at line {line}: {content:?}")
+            }
+            ReadTraceError::TooManyWords { limit } => {
+                write!(f, "trace exceeds the configured limit of {limit} words")
             }
         }
     }
@@ -84,9 +112,24 @@ pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()
 ///
 /// # Errors
 ///
-/// Returns [`ReadTraceError`] on I/O failure, a bad header, or any
-/// malformed or out-of-width value.
+/// Returns [`ReadTraceError`] on I/O failure, a bad header, any
+/// malformed or out-of-width value, or a trace longer than
+/// [`DEFAULT_MAX_WORDS`].
 pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
+    read_trace_with_limit(reader, DEFAULT_MAX_WORDS)
+}
+
+/// [`read_trace`] with an explicit cap on the number of data words
+/// accepted before the reader bails out with
+/// [`ReadTraceError::TooManyWords`].
+///
+/// # Errors
+///
+/// As [`read_trace`], with `max_words` in place of the default cap.
+pub fn read_trace_with_limit<R: BufRead>(
+    reader: R,
+    max_words: usize,
+) -> Result<Trace, ReadTraceError> {
     let mut lines = reader.lines();
     let header = lines
         .next()
@@ -101,13 +144,16 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
         }
         let value = u64::from_str_radix(text, 16).map_err(|_| ReadTraceError::BadLine {
             line: i + 2,
-            content: text.into(),
+            content: clip(text),
         })?;
         if !width.contains(value) {
             return Err(ReadTraceError::BadLine {
                 line: i + 2,
-                content: text.into(),
+                content: clip(text),
             });
+        }
+        if trace.len() >= max_words {
+            return Err(ReadTraceError::TooManyWords { limit: max_words });
         }
         trace.push(value);
     }
@@ -115,7 +161,7 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
 }
 
 fn parse_header(header: &str) -> Result<Width, ReadTraceError> {
-    let bad = || ReadTraceError::BadHeader(header.to_string());
+    let bad = || ReadTraceError::BadHeader(clip(header));
     let rest = header
         .strip_prefix("# bustrace v1 width=")
         .ok_or_else(bad)?;
@@ -191,5 +237,53 @@ mod tests {
             content: "xyz".into(),
         };
         assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn bad_line_content_is_clipped() {
+        let long = "z".repeat(10_000);
+        let text = format!("# bustrace v1 width=8\n{long}\n");
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::BadLine { content, .. }) => {
+                assert!(content.chars().count() <= BAD_LINE_CLIP + 1);
+                assert!(content.ends_with('…'));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_is_clipped() {
+        let text = format!("not a header {}\n", "x".repeat(10_000));
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::BadHeader(h)) => {
+                assert!(h.chars().count() <= BAD_LINE_CLIP + 1);
+            }
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_limit_is_enforced() {
+        let text = "# bustrace v1 width=8\n1\n2\n3\n4\n";
+        match read_trace_with_limit(text.as_bytes(), 3) {
+            Err(ReadTraceError::TooManyWords { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected TooManyWords, got {other:?}"),
+        }
+        // At the limit exactly: fine.
+        let t = read_trace_with_limit(text.as_bytes(), 4).unwrap();
+        assert_eq!(t.len(), 4);
+        // Comments and blanks do not count against the limit.
+        let sparse = "# bustrace v1 width=8\n# c\n\n1\n# c\n2\n";
+        assert_eq!(
+            read_trace_with_limit(sparse.as_bytes(), 2).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn too_many_words_message_names_the_limit() {
+        let e = ReadTraceError::TooManyWords { limit: 42 };
+        assert!(e.to_string().contains("42"));
     }
 }

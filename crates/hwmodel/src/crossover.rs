@@ -48,6 +48,30 @@ impl CodingOutcome {
         }
     }
 
+    /// Adds the energy tax of epoch resynchronization (the
+    /// `buscoding::robust` epoch wrapper): `flushes` predictor-state
+    /// flushes at `pj_per_flush` picojoules each, amortized over the
+    /// carried values into [`transcoder_pj_per_value`]. The extra *wire*
+    /// activity of post-flush mispredictions is already captured in the
+    /// coded [`Activity`]; this accounts only for the transcoder-side
+    /// state-clearing energy, shifting the crossover accordingly.
+    ///
+    /// [`transcoder_pj_per_value`]: CodingOutcome::transcoder_pj_per_value
+    /// [`Activity`]: buscoding::Activity
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj_per_flush` is negative or non-finite.
+    #[must_use]
+    pub fn with_resync_tax(mut self, flushes: u64, pj_per_flush: f64) -> Self {
+        assert!(
+            pj_per_flush.is_finite() && pj_per_flush >= 0.0,
+            "per-flush energy must be finite and non-negative, got {pj_per_flush}"
+        );
+        self.transcoder_pj_per_value += flushes as f64 * pj_per_flush / self.values as f64;
+        self
+    }
+
     /// Total energy of the coded system (wire + both transcoder ends)
     /// divided by the un-encoded wire energy, at this wire length — the
     /// y-axis of Figures 35–38.
@@ -237,6 +261,33 @@ mod tests {
         let o = CodingOutcome::new(baseline, coded, 1, 1.0);
         let w = Wire::new(Technology::tech_013(), WireStyle::Repeated, 5.0).unwrap();
         assert!(o.normalized_total_energy(&w).is_infinite());
+    }
+
+    #[test]
+    fn resync_tax_amortizes_over_values() {
+        let o = outcome(0.4, 2.0);
+        let taxed = o.clone().with_resync_tax(100, 5.0);
+        // 100 flushes × 5 pJ over 1000 values = +0.5 pJ/value.
+        assert!((taxed.transcoder_pj_per_value - 2.5).abs() < 1e-12);
+        assert_eq!(o.clone().with_resync_tax(0, 5.0), o);
+    }
+
+    #[test]
+    fn resync_tax_moves_crossover_out() {
+        let o = outcome(0.4, 2.0);
+        let t = Technology::tech_013();
+        let plain = o.crossover_mm(t, WireStyle::Repeated).unwrap();
+        let taxed = o
+            .with_resync_tax(500, 4.0)
+            .crossover_mm(t, WireStyle::Repeated)
+            .unwrap();
+        assert!(taxed > plain, "{taxed} vs {plain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn resync_tax_rejects_negative_energy() {
+        let _ = outcome(0.4, 2.0).with_resync_tax(1, -1.0);
     }
 
     #[test]

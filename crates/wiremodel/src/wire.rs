@@ -190,6 +190,35 @@ impl Wire {
         }
     }
 
+    /// Probability that a transition launched on this wire fails to
+    /// settle within `cycle_ps`, under Gaussian-like delay variation of
+    /// scale `sigma_ps` — a logistic approximation of the error
+    /// function, in the spirit of timing-speculative bus operation
+    /// (Kaul et al., "DVS for On-Chip Bus Designs Based on Timing Error
+    /// Correction").
+    ///
+    /// The probability grows with wire length (and, for repeated wires,
+    /// with repeater-segment length): a wire whose nominal delay equals
+    /// the cycle budget misses it half the time; one with ample slack
+    /// essentially never does. Used by the `busfault` crate's
+    /// timing-error fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ps` or `sigma_ps` is not finite and positive.
+    pub fn timing_upset_probability(&self, cycle_ps: f64, sigma_ps: f64) -> f64 {
+        assert!(
+            cycle_ps.is_finite() && cycle_ps > 0.0,
+            "cycle budget must be finite and positive, got {cycle_ps}"
+        );
+        assert!(
+            sigma_ps.is_finite() && sigma_ps > 0.0,
+            "delay-variation sigma must be finite and positive, got {sigma_ps}"
+        );
+        let margin = (cycle_ps - self.delay_ps()) / sigma_ps;
+        1.0 / (1.0 + margin.exp())
+    }
+
     /// Propagation delay in picoseconds (Figure 6).
     ///
     /// Unbuffered wires follow the distributed-RC quadratic
@@ -409,6 +438,37 @@ mod tests {
         assert_eq!(e.tau_pj, w.tau_energy_pj());
         assert_eq!(e.kappa_pj, w.kappa_energy_pj());
         assert!((e.kappa_pj / e.tau_pj - w.lambda()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_upset_probability_grows_with_length() {
+        let t = Technology::tech_013();
+        // A 1 ns budget at sigma 100 ps: short repeated wires are safe,
+        // long ones increasingly miss the cycle.
+        let p: Vec<f64> = [5.0, 15.0, 30.0, 45.0]
+            .iter()
+            .map(|&l| wire(t, WireStyle::Repeated, l).timing_upset_probability(1000.0, 100.0))
+            .collect();
+        assert!(p.windows(2).all(|w| w[0] < w[1]), "{p:?}");
+        assert!(p[0] < 1e-3, "short wire must be near-safe: {}", p[0]);
+        assert!(p[3] > 0.5, "45 mm exceeds a 1 ns budget: {}", p[3]);
+        for &x in &p {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn timing_upset_probability_is_half_at_zero_margin() {
+        let w = wire(Technology::tech_013(), WireStyle::Repeated, 20.0);
+        let p = w.timing_upset_probability(w.delay_ps(), 50.0);
+        assert!((p - 0.5).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle budget")]
+    fn timing_upset_probability_rejects_bad_cycle() {
+        let w = wire(Technology::tech_013(), WireStyle::Repeated, 10.0);
+        let _ = w.timing_upset_probability(0.0, 50.0);
     }
 
     #[test]
