@@ -10,8 +10,20 @@
 //!
 //! Environment: `REPRO_VALUES` (trace length, default 200000),
 //! `REPRO_SEED` (default 1), `REPRO_OUT` (CSV directory, default
-//! `results/`), `REPRO_METRICS=1` (same as `--metrics`). Figure-class
-//! experiments additionally render SVG charts into `<out>/plots/`.
+//! `results/`), `REPRO_METRICS=1` (same as `--metrics`),
+//! `REPRO_CACHE=1` (persist generated traces under `<out>/cache/` and
+//! reload them on later runs), `REPRO_SERIAL=1` (disable
+//! cross-experiment parallelism). Figure-class experiments additionally
+//! render SVG charts into `<out>/plots/`.
+//!
+//! Experiments share one [`Session`]: every trace is generated at most
+//! once per run no matter how many experiments ask for it, and
+//! independent experiments run concurrently on the worker pool. Output
+//! (console tables, CSVs, plots, timing lines) is always emitted in
+//! registry order, so a parallel run is byte-identical to a serial one.
+//! Metrics mode forces serial execution — the probe registry is
+//! process-global and is reset between experiments so each record
+//! carries only its own counts.
 //!
 //! With metrics on, each experiment appends one JSON record to
 //! `<out>/metrics.jsonl` and prints a per-probe summary table on
@@ -21,8 +33,57 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bench::experiments::{registry, Experiment};
-use bench::{metrics, Ctx};
+use bench::experiments::{par_map, registry, Experiment};
+use bench::report::Table;
+use bench::{env_flag, metrics, Session};
+
+/// Outcome of one experiment: its tables (or the panic message) and the
+/// wall-clock seconds it took.
+type RunResult = (Result<Vec<Table>, String>, f64);
+
+/// Runs one experiment, converting a panic into an error message so a
+/// failing experiment cannot take the rest of the run down with it.
+fn execute(e: &Experiment, session: &Session) -> RunResult {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| (e.run)(session))).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    });
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Prints an experiment's tables, writes its CSVs and plots, and emits
+/// the timing line. Returns the row count.
+fn emit_output(id: &str, tables: &[Table], wall_s: f64, session: &Session) -> u64 {
+    let rows: u64 = tables.iter().map(|t| t.rows.len() as u64).sum();
+    for table in tables {
+        print!("{}", table.to_console());
+        if let Err(err) = table.write_csv(session.out_dir()) {
+            eprintln!("warning: could not write {}.csv: {err}", table.id);
+        }
+        if let Some(spec) = bench::plot::spec_for(&table.id) {
+            if let Some(svg) = bench::plot::chart_table(table, &spec) {
+                let dir = session.out_dir().join("plots");
+                let path = dir.join(format!("{}.svg", table.id));
+                let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, svg));
+                if let Err(err) = write {
+                    eprintln!("warning: could not write {}: {err}", path.display());
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[{}] done in {:.1}s: {} table(s), {} row(s)",
+        id,
+        wall_s,
+        tables.len(),
+        rows
+    );
+    rows
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +109,7 @@ fn main() -> ExitCode {
         let file = args
             .get(1)
             .map(std::path::PathBuf::from)
-            .unwrap_or_else(|| metrics::path(&Ctx::from_env()));
+            .unwrap_or_else(|| metrics::path(&Session::from_env()));
         return match metrics::check_file(&file) {
             Ok(n) => {
                 eprintln!("{}: {n} valid metric record(s)", file.display());
@@ -77,88 +138,104 @@ fn main() -> ExitCode {
         sel
     };
 
-    let ctx = Ctx::from_env();
+    let session = Session::from_env();
+    // The probe registry is process-global and reset per experiment in
+    // metrics mode, so concurrent experiments would corrupt each
+    // other's records.
+    let parallel = selected.len() > 1 && !metrics_on && !env_flag("REPRO_SERIAL");
     eprintln!(
-        "running {} experiment(s): {} values/trace, seed {}, output {}{}",
+        "running {} experiment(s): {} values/trace, seed {}, output {}{}{}{}",
         selected.len(),
-        ctx.values,
-        ctx.seed,
-        ctx.out_dir.display(),
-        if metrics_on { ", metrics on" } else { "" }
+        session.values(),
+        session.seed(),
+        session.out_dir().display(),
+        if metrics_on { ", metrics on" } else { "" },
+        if session.store().disk_dir().is_some() {
+            ", trace cache on"
+        } else {
+            ""
+        },
+        if parallel { ", parallel" } else { "" }
     );
     let total = selected.len();
     let grand_start = Instant::now();
     let mut grand_tables = 0usize;
     let mut grand_rows = 0u64;
     let mut failed: Vec<&str> = Vec::new();
-    for e in &selected {
-        if metrics_on {
-            // Each record carries only its own experiment's counts.
-            busprobe::reset();
-        }
-        let start = Instant::now();
-        // A panicking experiment must not take the rest of the run down
-        // with it: report it, skip its tables, keep going, and fail the
-        // process at the end.
-        let tables = match catch_unwind(AssertUnwindSafe(|| (e.run)(&ctx))) {
-            Ok(tables) => tables,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
+
+    // Run. In parallel mode the results are collected first and emitted
+    // afterwards in registry order; serial mode emits as it goes (so
+    // metrics summaries interleave with their experiments).
+    let emit = |e: &Experiment,
+                result: Result<Vec<Table>, String>,
+                wall_s: f64,
+                failed: &mut Vec<&'static str>,
+                grand_tables: &mut usize,
+                grand_rows: &mut u64|
+     -> Option<u64> {
+        match result {
+            Ok(tables) => {
+                let rows = emit_output(e.id, &tables, wall_s, &session);
+                *grand_tables += tables.len();
+                *grand_rows += rows;
+                Some(rows)
+            }
+            Err(msg) => {
                 eprintln!("[{}] FAILED: experiment panicked: {msg}", e.id);
                 failed.push(e.id);
-                continue;
+                None
             }
-        };
-        let rows: u64 = tables.iter().map(|t| t.rows.len() as u64).sum();
-        for table in &tables {
-            print!("{}", table.to_console());
-            if let Err(err) = table.write_csv(&ctx.out_dir) {
-                eprintln!("warning: could not write {}.csv: {err}", table.id);
+        }
+    };
+
+    if parallel {
+        let results = par_map(selected.clone(), |e| execute(e, &session));
+        for (e, (result, wall_s)) in selected.iter().zip(results) {
+            emit(
+                e,
+                result,
+                wall_s,
+                &mut failed,
+                &mut grand_tables,
+                &mut grand_rows,
+            );
+        }
+    } else {
+        for e in &selected {
+            if metrics_on {
+                // Each record carries only its own experiment's counts.
+                busprobe::reset();
             }
-            if let Some(spec) = bench::plot::spec_for(&table.id) {
-                if let Some(svg) = bench::plot::chart_table(table, &spec) {
-                    let dir = ctx.out_dir.join("plots");
-                    let path = dir.join(format!("{}.svg", table.id));
-                    let write =
-                        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, svg));
-                    if let Err(err) = write {
-                        eprintln!("warning: could not write {}: {err}", path.display());
-                    }
+            let (result, wall_s) = execute(e, &session);
+            let rows = emit(
+                e,
+                result,
+                wall_s,
+                &mut failed,
+                &mut grand_tables,
+                &mut grand_rows,
+            );
+            if let (true, Some(rows)) = (metrics_on, rows) {
+                busprobe::counter("bench.experiment.rows").add(rows);
+                busprobe::histogram("bench.experiment.wall_ms", busprobe::DEFAULT_BOUNDS)
+                    .observe((wall_s * 1000.0) as u64);
+                eprint!("{}", metrics::summary(e.id));
+                match metrics::emit(&session, e.id, wall_s, rows) {
+                    Ok(file) => eprintln!("[{}] metrics appended to {}", e.id, file.display()),
+                    Err(err) => eprintln!("warning: could not write metrics for {}: {err}", e.id),
                 }
             }
         }
-        let wall_s = start.elapsed().as_secs_f64();
-        grand_tables += tables.len();
-        grand_rows += rows;
-        eprintln!(
-            "[{}] done in {:.1}s: {} table(s), {} row(s)",
-            e.id,
-            wall_s,
-            tables.len(),
-            rows
-        );
-        if metrics_on {
-            busprobe::counter("bench.experiment.rows").add(rows);
-            busprobe::histogram("bench.experiment.wall_ms", busprobe::DEFAULT_BOUNDS)
-                .observe((wall_s * 1000.0) as u64);
-            eprint!("{}", metrics::summary(e.id));
-            match metrics::emit(&ctx, e.id, wall_s, rows) {
-                Ok(file) => eprintln!("[{}] metrics appended to {}", e.id, file.display()),
-                Err(err) => eprintln!("warning: could not write metrics for {}: {err}", e.id),
-            }
-        }
     }
+
     if total > 1 {
         eprintln!(
-            "[all] {} experiment(s) done in {:.1}s: {} table(s), {} row(s)",
+            "[all] {} experiment(s) done in {:.1}s: {} table(s), {} row(s), {} trace(s) generated",
             total,
             grand_start.elapsed().as_secs_f64(),
             grand_tables,
-            grand_rows
+            grand_rows,
+            session.store().len()
         );
     }
     if !failed.is_empty() {
@@ -174,6 +251,7 @@ fn main() -> ExitCode {
 
 fn print_usage(experiments: &[Experiment]) {
     println!("usage: repro [--metrics] <experiment>... | all | list | metrics-check [file]");
+    println!("env: REPRO_VALUES, REPRO_SEED, REPRO_OUT, REPRO_METRICS, REPRO_CACHE, REPRO_SERIAL");
     println!("experiments:");
     for e in experiments {
         println!("  {:<22} {}", e.id, e.title);

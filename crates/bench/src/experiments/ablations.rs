@@ -8,9 +8,12 @@ use wiremodel::Technology;
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
-use crate::schemes::baseline_activity;
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
+
+/// The ablations cap their traces at 100k values, like the circuit
+/// experiments.
+const CAP: usize = 100_000;
 
 fn ablation_benchmarks() -> Vec<Benchmark> {
     vec![
@@ -25,7 +28,7 @@ fn ablation_benchmarks() -> Vec<Benchmark> {
 /// Pending-bit neighbor-swap sort vs the ideal (immediately re-sorted)
 /// behavioral table: how much hit-rate and energy the restricted
 /// hardware sort gives up.
-pub fn sort(ctx: &Ctx) -> Vec<Table> {
+pub fn sort(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ablation-sort",
         "Pending-bit hardware sort vs ideal re-sort (register bus)",
@@ -37,15 +40,14 @@ pub fn sort(ctx: &Ctx) -> Vec<Table> {
             "hw_swaps_per_cycle",
         ],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(ablation_benchmarks(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+        let w = Workload::Bench(b, BusKind::Register);
+        let trace = session.trace_capped(w, CAP);
         let cfg = ContextConfig::new(trace.width(), 28, 8);
         // Ideal: behavioral codec.
         let (mut enc, _) = context_value_codec(cfg);
         let coded = evaluate(&mut enc, &trace);
-        let baseline = baseline_activity(&trace);
+        let baseline = session.baseline_capped(w, CAP);
         let ideal_removed = buscoding::percent_energy_removed(&coded, &baseline, 1.0);
         // Ideal hit rate: count engine hits by re-running with outcome taps.
         let (mut enc2, _) = context_value_codec(cfg);
@@ -96,7 +98,7 @@ pub fn sort(ctx: &Ctx) -> Vec<Table> {
 
 /// Selective precharge vs full-width matching: the match-energy saving
 /// of the two-stage comparator.
-pub fn precharge(ctx: &Ctx) -> Vec<Table> {
+pub fn precharge(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ablation-precharge",
         "Selective precharge vs full-width matching (window-8, register bus, 0.13um)",
@@ -109,10 +111,8 @@ pub fn precharge(ctx: &Ctx) -> Vec<Table> {
     );
     let tech = Technology::tech_013();
     let circuit = CircuitModel::window(tech, 8);
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(ablation_benchmarks(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+        let trace = session.trace_capped(Workload::Bench(b, BusKind::Register), CAP);
         let mut hw = WindowHardware::new(8);
         for v in trace.iter() {
             hw.present(v);
@@ -137,7 +137,7 @@ pub fn precharge(ctx: &Ctx) -> Vec<Table> {
 }
 
 /// Johnson vs binary counters: bit transitions per increment.
-pub fn counter(ctx: &Ctx) -> Vec<Table> {
+pub fn counter(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ablation-counter",
         "Johnson vs binary counter energy in the context design (register bus, 0.13um)",
@@ -150,10 +150,8 @@ pub fn counter(ctx: &Ctx) -> Vec<Table> {
     );
     let tech = Technology::tech_013();
     let circuit = CircuitModel::context(tech, 28, 8);
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(ablation_benchmarks(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+        let trace = session.trace_capped(Workload::Bench(b, BusKind::Register), CAP);
         let mut hw = ContextHardware::new(ContextHwConfig::paper_layout());
         for v in trace.iter() {
             hw.present(v);
@@ -180,17 +178,16 @@ pub fn counter(ctx: &Ctx) -> Vec<Table> {
 /// LAST-value code-0 contribution: window coding with the shift register
 /// alone, sized one entry smaller, versus the full design — how much of
 /// the win is just "repeats are free".
-pub fn last_value(ctx: &Ctx) -> Vec<Table> {
+pub fn last_value(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ablation-last",
         "Contribution of repeats (window-1) vs the full window-8 (register bus)",
         &["workload", "window1_removed_pct", "window8_removed_pct"],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(ablation_benchmarks(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
-        let baseline = baseline_activity(&trace);
+        let w = Workload::Bench(b, BusKind::Register);
+        let trace = session.trace_capped(w, CAP);
+        let baseline = session.baseline_capped(w, CAP);
         let mut removed = Vec::new();
         for entries in [1usize, 8] {
             let (mut enc, _) = window_codec(WindowConfig::new(trace.width(), entries));

@@ -1,6 +1,5 @@
 //! Section 5 circuit reproductions: Table 2 and Figure 26.
 
-use bustrace::Trace;
 use hwmodel::budget::energy_budget_pj_per_cycle;
 use hwmodel::{CircuitModel, ContextHwConfig, WindowHardware};
 use simcpu::BusKind;
@@ -8,9 +7,13 @@ use wiremodel::{Technology, Wire, WireStyle};
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
-use crate::schemes::{baseline_activity, Scheme};
+use crate::schemes::Scheme;
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
+
+/// The circuit experiments cap their reference workload at 100k values;
+/// the hardware-model tallies stabilize well before that.
+const CAP: usize = 100_000;
 
 /// Table 2: transcoder characteristics per technology.
 ///
@@ -18,7 +21,7 @@ use crate::Ctx;
 /// calibrated constants; the per-cycle op energy is *measured* by
 /// running the hardware model over a reference register-bus workload and
 /// pricing the tally — the paper's own methodology (Figure 34).
-pub fn table2(ctx: &Ctx) -> Vec<Table> {
+pub fn table2(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "table2",
         "Transcoder characteristics (paper op energies: 1.39/1.07/0.55, inverter 1.76 pJ)",
@@ -34,9 +37,8 @@ pub fn table2(ctx: &Ctx) -> Vec<Table> {
     );
     // Reference workload: average the measured per-cycle energy over
     // every register-bus benchmark.
-    let values = ctx.values.min(100_000);
-    let traces: Vec<Trace> = par_map(Workload::all_benchmarks(BusKind::Register), |w| {
-        w.trace(values, ctx.seed)
+    let traces = par_map(Workload::all_benchmarks(BusKind::Register), |w| {
+        session.trace_capped(w, CAP)
     });
     for tech in Technology::all() {
         let circuit = CircuitModel::window(tech, 8);
@@ -79,20 +81,22 @@ pub fn table2(ctx: &Ctx) -> Vec<Table> {
 /// Figure 26: energy budget vs total dictionary entries, for 5/10/15 mm
 /// wires, Window and Context designs, averaged over the register-bus
 /// benchmarks.
-pub fn fig26(ctx: &Ctx) -> Vec<Table> {
+pub fn fig26(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig26",
         "Energy budget (pJ/cycle of wire energy saved) vs total entries",
         &["design", "length_mm", "entries", "budget_pj"],
     );
     let entry_counts = [4usize, 8, 16, 24, 32, 48, 64];
-    let values = ctx.values.min(100_000);
+    let values = session.values().min(CAP);
     let tech = Technology::tech_013();
 
-    let traces: Vec<Trace> = par_map(Workload::all_benchmarks(BusKind::Register), |w| {
-        w.trace(values, ctx.seed)
-    });
-    let baselines: Vec<_> = traces.iter().map(baseline_activity).collect();
+    let workloads = Workload::all_benchmarks(BusKind::Register);
+    let traces = par_map(workloads.clone(), |w| session.trace_capped(w, CAP));
+    let baselines: Vec<_> = workloads
+        .iter()
+        .map(|w| session.baseline_capped(*w, CAP))
+        .collect();
 
     let jobs: Vec<(&'static str, usize)> = entry_counts
         .iter()
@@ -142,11 +146,8 @@ pub fn fig26(ctx: &Ctx) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    fn tiny() -> Ctx {
-        Ctx {
-            values: 10_000,
-            ..Ctx::default()
-        }
+    fn tiny() -> Session {
+        Session::builder().values(10_000).build()
     }
 
     #[test]

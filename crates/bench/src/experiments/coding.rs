@@ -3,37 +3,41 @@
 //! All percentages are λ-weighted energy removed relative to the
 //! un-encoded bus with λ = 1, the paper's default (Section 4.4).
 
-use buscoding::normalized_energy_remaining;
-use bustrace::Trace;
+use buscoding::{normalized_energy_remaining, percent_energy_removed};
 use simcpu::{Benchmark, BusKind};
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
-use crate::schemes::{baseline_activity, Scheme};
+use crate::schemes::Scheme;
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
 
 const LAMBDA: f64 = 1.0;
 
 /// Generic sweep: for every workload line and every x-axis
-/// configuration, the percent of energy removed.
+/// configuration, the percent of energy removed. Traces and baseline
+/// activities come from the session caches, so sweeps sharing a
+/// workload grid (figures 16/20/22, 17/21/23, ...) pay for each trace
+/// and baseline once per run.
 fn percent_sweep(
     id: &str,
     title: &str,
-    ctx: &Ctx,
+    session: &Session,
     workloads: Vec<Workload>,
     configs: Vec<(String, Scheme)>,
 ) -> Table {
     let mut t = Table::new(id, title, &["workload", "x", "scheme", "percent_removed"]);
     let results = par_map(workloads, |w| {
-        let trace = w.trace(ctx.values, ctx.seed);
+        let trace = session.trace(w);
+        let baseline = session.baseline(w);
         let rows: Vec<(String, String, f64)> = configs
             .iter()
             .map(|(x, scheme)| {
+                let coded = scheme.activity(&trace);
                 (
                     x.clone(),
                     scheme.name(),
-                    scheme.percent_removed(&trace, LAMBDA),
+                    percent_energy_removed(&coded, &baseline, LAMBDA),
                 )
             })
             .collect();
@@ -50,7 +54,7 @@ fn percent_sweep(
 /// Figure 15: inversion-coder normalized energy vs the wire's actual λ,
 /// for minimizers designed against λ=0 (classic bus-invert), λ=1, and
 /// the true λ.
-pub fn fig15(ctx: &Ctx) -> Vec<Table> {
+pub fn fig15(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig15",
         "Inversion coder: % energy remaining vs actual lambda (lower is better)",
@@ -83,10 +87,16 @@ pub fn fig15(ctx: &Ctx) -> Vec<Table> {
         ("random".into(), vec![Workload::Random]),
     ];
 
-    let values = ctx.values.min(100_000);
+    const CAP: usize = 100_000;
     let results = par_map(std::mem::take(&mut groups), |(group, members)| {
-        let traces: Vec<Trace> = members.iter().map(|w| w.trace(values, ctx.seed)).collect();
-        let baselines: Vec<_> = traces.iter().map(baseline_activity).collect();
+        let traces: Vec<_> = members
+            .iter()
+            .map(|w| session.trace_capped(*w, CAP))
+            .collect();
+        let baselines: Vec<_> = members
+            .iter()
+            .map(|w| session.baseline_capped(*w, CAP))
+            .collect();
         // λ0 and λ1 designs are independent of the actual λ.
         let fixed: Vec<(String, Vec<buscoding::Activity>)> = [("l0", 0.0), ("l1", 1.0)]
             .iter()
@@ -149,22 +159,22 @@ fn stride_configs() -> Vec<(String, Scheme)> {
 }
 
 /// Figure 16: strided predictor on the memory bus.
-pub fn fig16(ctx: &Ctx) -> Vec<Table> {
+pub fn fig16(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig16",
         "% energy removed vs number of stride predictors (memory bus)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Memory),
         stride_configs(),
     )]
 }
 
 /// Figure 17: strided predictor on the register bus.
-pub fn fig17(ctx: &Ctx) -> Vec<Table> {
+pub fn fig17(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig17",
         "% energy removed vs number of stride predictors (register bus)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Register),
         stride_configs(),
     )]
@@ -178,22 +188,22 @@ fn window_configs() -> Vec<(String, Scheme)> {
 }
 
 /// Figure 18: window-based transcoder on the memory bus.
-pub fn fig18(ctx: &Ctx) -> Vec<Table> {
+pub fn fig18(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig18",
         "% energy removed vs shift register size (memory bus)",
-        ctx,
+        session,
         Workload::all_benchmarks(BusKind::Memory),
         window_configs(),
     )]
 }
 
 /// Figure 19: window-based transcoder on the register bus.
-pub fn fig19(ctx: &Ctx) -> Vec<Table> {
+pub fn fig19(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig19",
         "% energy removed vs shift register size (register bus)",
-        ctx,
+        session,
         Workload::all_benchmarks(BusKind::Register),
         window_configs(),
     )]
@@ -226,44 +236,44 @@ fn context_configs(transition: bool) -> Vec<(String, Scheme)> {
 }
 
 /// Figure 20: transition-flavor context transcoder, memory bus.
-pub fn fig20(ctx: &Ctx) -> Vec<Table> {
+pub fn fig20(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig20",
         "% energy removed vs table size, transition-based (memory bus, SR=8)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Memory),
         context_configs(true),
     )]
 }
 
 /// Figure 21: transition-flavor context transcoder, register bus.
-pub fn fig21(ctx: &Ctx) -> Vec<Table> {
+pub fn fig21(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig21",
         "% energy removed vs table size, transition-based (register bus, SR=8)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Register),
         context_configs(true),
     )]
 }
 
 /// Figure 22: value-flavor context transcoder, memory bus.
-pub fn fig22(ctx: &Ctx) -> Vec<Table> {
+pub fn fig22(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig22",
         "% energy removed vs table size, value-based (memory bus, SR=8)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Memory),
         context_configs(false),
     )]
 }
 
 /// Figure 23: value-flavor context transcoder, register bus.
-pub fn fig23(ctx: &Ctx) -> Vec<Table> {
+pub fn fig23(session: &Session) -> Vec<Table> {
     vec![percent_sweep(
         "fig23",
         "% energy removed vs table size, value-based (register bus, SR=8)",
-        ctx,
+        session,
         Workload::figure_lines(BusKind::Register),
         context_configs(false),
     )]
@@ -286,7 +296,7 @@ fn fig24_benchmarks() -> Vec<Workload> {
 }
 
 /// Figure 24: value-based context vs shift-register size (tables 16, 64).
-pub fn fig24(ctx: &Ctx) -> Vec<Table> {
+pub fn fig24(session: &Session) -> Vec<Table> {
     let mut configs = Vec::new();
     for &table in &[16usize, 64] {
         for &sr in &[2usize, 4, 8, 12, 16, 24, 32] {
@@ -303,14 +313,14 @@ pub fn fig24(ctx: &Ctx) -> Vec<Table> {
     vec![percent_sweep(
         "fig24",
         "% energy removed vs shift register size (register bus, tables 16 & 64)",
-        ctx,
+        session,
         fig24_benchmarks(),
         configs,
     )]
 }
 
 /// Figure 25: value-based context vs counter divide period.
-pub fn fig25(ctx: &Ctx) -> Vec<Table> {
+pub fn fig25(session: &Session) -> Vec<Table> {
     let mut configs = Vec::new();
     for &table in &[16usize, 64] {
         for &period in &[4u64, 16, 64, 256, 1024, 4096, 16384] {
@@ -327,7 +337,7 @@ pub fn fig25(ctx: &Ctx) -> Vec<Table> {
     vec![percent_sweep(
         "fig25",
         "% energy removed vs counter divide period (register bus, tables 16 & 64)",
-        ctx,
+        session,
         fig24_benchmarks(),
         configs,
     )]
@@ -337,11 +347,8 @@ pub fn fig25(ctx: &Ctx) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    fn tiny() -> Ctx {
-        Ctx {
-            values: 20_000,
-            ..Ctx::default()
-        }
+    fn tiny() -> Session {
+        Session::builder().values(20_000).build()
     }
 
     #[test]
@@ -363,11 +370,8 @@ mod tests {
 
     #[test]
     fn fig15_random_designs_agree_at_their_lambda() {
-        let ctx = Ctx {
-            values: 10_000,
-            ..Ctx::default()
-        };
-        let t = &fig15(&ctx)[0];
+        let session = Session::builder().values(10_000).build();
+        let t = &fig15(&session)[0];
         // At actual λ = 1, the λ1 and λN designs coincide by definition.
         let get = |design: &str| -> f64 {
             t.rows

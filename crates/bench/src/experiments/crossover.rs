@@ -9,33 +9,39 @@ use wiremodel::{Technology, WireStyle};
 
 use crate::experiments::par_map;
 use crate::report::{f, opt_mm, Table};
-use crate::schemes::{baseline_activity, window_outcome, Scheme};
+use crate::schemes::{window_outcome_with_baseline, Scheme};
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
 
 const LENGTHS: [f64; 8] = [1.0, 3.0, 5.0, 8.0, 11.5, 15.0, 20.0, 30.0];
 
 /// One benchmark's Window-design outcome at a given entry count and
-/// technology.
+/// technology. The trace and its baseline come from the session, so the
+/// tech × entries grid of Figures 37–38 and Table 3 walks each
+/// benchmark trace once for the baseline no matter how many grid points
+/// reuse it.
 fn outcomes(
-    ctx: &Ctx,
+    session: &Session,
     bus: BusKind,
     entries: usize,
     tech: Technology,
     benches: &[Benchmark],
 ) -> Vec<(Benchmark, CodingOutcome)> {
-    let values = ctx.values;
-    let seed = ctx.seed;
     par_map(benches.to_vec(), move |b| {
-        let trace = Workload::Bench(b, bus).trace(values, seed);
-        (b, window_outcome(&trace, entries, tech))
+        let w = Workload::Bench(b, bus);
+        let trace = session.trace(w);
+        let baseline = session.baseline(w);
+        (
+            b,
+            window_outcome_with_baseline(&trace, baseline, entries, tech),
+        )
     })
 }
 
-fn total_energy_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
+fn total_energy_figure(id: &str, title: &str, session: &Session, bus: BusKind) -> Table {
     let mut t = Table::new(id, title, &["workload", "length_mm", "normalized_energy"]);
     let tech = Technology::tech_013();
-    for (b, outcome) in outcomes(ctx, bus, 8, tech, &Benchmark::ALL) {
+    for (b, outcome) in outcomes(session, bus, 8, tech, &Benchmark::ALL) {
         let curve = outcome
             .normalized_curve(tech, WireStyle::Repeated, &LENGTHS)
             .expect("valid lengths");
@@ -48,28 +54,28 @@ fn total_energy_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table 
 
 /// Figure 35: Window-8 total energy normalized to the un-encoded bus,
 /// register bus, 0.13 µm.
-pub fn fig35(ctx: &Ctx) -> Vec<Table> {
+pub fn fig35(session: &Session) -> Vec<Table> {
     vec![total_energy_figure(
         "fig35",
         "Window-8 total energy vs wire length, register bus, 0.13um",
-        ctx,
+        session,
         BusKind::Register,
     )]
 }
 
 /// Figure 36: same on the memory bus.
-pub fn fig36(ctx: &Ctx) -> Vec<Table> {
+pub fn fig36(session: &Session) -> Vec<Table> {
     vec![total_energy_figure(
         "fig36",
         "Window-8 total energy vs wire length, memory bus, 0.13um",
-        ctx,
+        session,
         BusKind::Memory,
     )]
 }
 
 /// Median normalized-energy curves per technology and entry count, split
 /// into SPECint and SPECfp (Figures 37–38).
-fn trend_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
+fn trend_figure(id: &str, title: &str, session: &Session, bus: BusKind) -> Table {
     let mut t = Table::new(
         id,
         title,
@@ -83,7 +89,7 @@ fn trend_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
     );
     for tech in Technology::all() {
         for &entries in &[8usize, 16] {
-            let all = outcomes(ctx, bus, entries, tech, &Benchmark::ALL);
+            let all = outcomes(session, bus, entries, tech, &Benchmark::ALL);
             for (suite, filter) in [("int", false), ("fp", true)]
                 .map(|(s, fp)| (s, move |b: &Benchmark| b.is_fp() == fp))
             {
@@ -111,28 +117,28 @@ fn trend_figure(id: &str, title: &str, ctx: &Ctx, bus: BusKind) -> Table {
 }
 
 /// Figure 37: scaling trends on the register bus.
-pub fn fig37(ctx: &Ctx) -> Vec<Table> {
+pub fn fig37(session: &Session) -> Vec<Table> {
     vec![trend_figure(
         "fig37",
         "Median normalized energy vs length, register bus (tech x entries x suite)",
-        ctx,
+        session,
         BusKind::Register,
     )]
 }
 
 /// Figure 38: scaling trends on the memory bus.
-pub fn fig38(ctx: &Ctx) -> Vec<Table> {
+pub fn fig38(session: &Session) -> Vec<Table> {
     vec![trend_figure(
         "fig38",
         "Median normalized energy vs length, memory bus (tech x entries x suite)",
-        ctx,
+        session,
         BusKind::Memory,
     )]
 }
 
 /// Table 3: median crossover lengths for the Window design on the
 /// register bus.
-pub fn table3(ctx: &Ctx) -> Vec<Table> {
+pub fn table3(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "table3",
         "Median crossover lengths, register bus (paper: 11.5mm @0.13um/8e ... 2.7mm @0.07um/16e)",
@@ -140,7 +146,7 @@ pub fn table3(ctx: &Ctx) -> Vec<Table> {
     );
     for tech in Technology::all() {
         for &entries in &[8usize, 16] {
-            let all = outcomes(ctx, BusKind::Register, entries, tech, &Benchmark::ALL);
+            let all = outcomes(session, BusKind::Register, entries, tech, &Benchmark::ALL);
             let xover = |filter: &dyn Fn(&Benchmark) -> bool| -> Option<f64> {
                 let xs: Vec<f64> = all
                     .iter()
@@ -163,7 +169,7 @@ pub fn table3(ctx: &Ctx) -> Vec<Table> {
 
 /// The Section 7 headline: average percent of transitions removed on
 /// the register bus (paper: 36%).
-pub fn headline(ctx: &Ctx) -> Vec<Table> {
+pub fn headline(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "headline",
         "Average % of weighted transitions removed, register bus (paper headline: 36%)",
@@ -178,11 +184,10 @@ pub fn headline(ctx: &Ctx) -> Vec<Table> {
             divide: 4096,
         },
     ];
-    let values = ctx.values;
-    let seed = ctx.seed;
     let per_bench: Vec<Vec<f64>> = par_map(Benchmark::ALL.to_vec(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
-        let baseline = baseline_activity(&trace);
+        let w = Workload::Bench(b, BusKind::Register);
+        let trace = session.trace(w);
+        let baseline = session.baseline(w);
         schemes
             .iter()
             .map(|s| {
@@ -207,11 +212,8 @@ pub fn activity_ratio(coded: &Activity, baseline: &Activity) -> f64 {
 mod tests {
     use super::*;
 
-    fn tiny() -> Ctx {
-        Ctx {
-            values: 15_000,
-            ..Ctx::default()
-        }
+    fn tiny() -> Session {
+        Session::builder().values(15_000).build()
     }
 
     #[test]

@@ -8,19 +8,22 @@ use buscoding::spatial::spatial_activity;
 use buscoding::varlen::huffman_study;
 use buscoding::{evaluate, percent_energy_removed, CostModel};
 use bustrace::generators::{TraceGenerator, WorkingSetGen};
-use bustrace::{Trace, Width};
+use bustrace::Width;
 use simcpu::{Benchmark, BusKind};
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
-use crate::schemes::{baseline_activity, Scheme};
+use crate::schemes::Scheme;
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
+
+/// Most extension studies cap their traces at 100k values.
+const CAP: usize = 100_000;
 
 /// Section 6: how much would variable-length coding buy, and at what
 /// timing cost? Oracle Huffman over each trace, serialized over 8 and
 /// 32 lanes, against the window transcoder's fixed-length savings.
-pub fn varlen(ctx: &Ctx) -> Vec<Table> {
+pub fn varlen(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ext-varlen",
         "Variable-length (oracle Huffman) coding vs fixed-length transcoding (register bus)",
@@ -33,8 +36,6 @@ pub fn varlen(ctx: &Ctx) -> Vec<Table> {
             "window8_removed_pct",
         ],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(
         vec![
             Benchmark::Li,
@@ -44,11 +45,13 @@ pub fn varlen(ctx: &Ctx) -> Vec<Table> {
             Benchmark::M88ksim,
         ],
         move |b| {
-            let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+            let w = Workload::Bench(b, BusKind::Register);
+            let trace = session.trace_capped(w, CAP);
             let study = huffman_study(&trace, 256, 8);
-            let baseline = baseline_activity(&trace);
+            let baseline = session.baseline_capped(w, CAP);
             let tau_ratio = study.serialized.tau() as f64 / baseline.tau() as f64;
-            let window = Scheme::Window { entries: 8 }.percent_removed(&trace, 1.0);
+            let coded = Scheme::Window { entries: 8 }.activity(&trace);
+            let window = percent_energy_removed(&coded, &baseline, 1.0);
             (
                 format!("{b}/register"),
                 study.huffman_bits_per_value,
@@ -75,16 +78,16 @@ pub fn varlen(ctx: &Ctx) -> Vec<Table> {
 /// Bus-width sensitivity: the same working-set traffic carried on buses
 /// of different widths. Wider buses pay more per miss, so dictionary
 /// coding helps more.
-pub fn width(ctx: &Ctx) -> Vec<Table> {
+pub fn width(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ext-width",
         "Window-8 savings vs bus width (working-set traffic)",
         &["width_bits", "percent_removed"],
     );
-    let values = ctx.values.min(100_000);
+    let values = session.values().min(CAP);
     for bits in [8u32, 16, 24, 32, 48, 62] {
         let w = Width::new(bits).expect("valid width");
-        let trace = WorkingSetGen::new(w, 32, 0.8, 0.005, ctx.seed).generate(values);
+        let trace = WorkingSetGen::new(w, 32, 0.8, 0.005, session.seed()).generate(values);
         let removed = Scheme::Window { entries: 8 }.percent_removed(&trace, 1.0);
         t.push(vec![bits.to_string(), f(removed, 1)]);
     }
@@ -95,7 +98,7 @@ pub fn width(ctx: &Ctx) -> Vec<Table> {
 /// utterly impractical) against the window transcoder on the same
 /// traffic — quantifying how much headroom fixed-width transcoding
 /// leaves on the table.
-pub fn spatial_bound(ctx: &Ctx) -> Vec<Table> {
+pub fn spatial_bound(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ext-spatial",
         "Spatial (one-hot) bound vs window transcoder, tau only (register bus)",
@@ -106,14 +109,13 @@ pub fn spatial_bound(ctx: &Ctx) -> Vec<Table> {
             "window8_tau_per_value",
         ],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(
         vec![Benchmark::Go, Benchmark::Li, Benchmark::Gcc],
         move |b| {
-            let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+            let w = Workload::Bench(b, BusKind::Register);
+            let trace = session.trace_capped(w, CAP);
             let n = trace.len() as f64;
-            let baseline = baseline_activity(&trace);
+            let baseline = session.baseline_capped(w, CAP);
             let spatial = spatial_activity(&trace);
             let (mut enc, _) = window_codec(WindowConfig::new(trace.width(), 8));
             let window = evaluate(&mut enc, &trace);
@@ -134,7 +136,7 @@ pub fn spatial_bound(ctx: &Ctx) -> Vec<Table> {
 /// Address-bus study: the related-work domain. Spatial-locality coding
 /// (working zones) against the paper's value-locality schemes on the
 /// memory address bus.
-pub fn address_bus(ctx: &Ctx) -> Vec<Table> {
+pub fn address_bus(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ext-address",
         "Coding schemes on the memory address bus (% energy removed)",
@@ -147,8 +149,6 @@ pub fn address_bus(ctx: &Ctx) -> Vec<Table> {
             "businvert",
         ],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let schemes = [
         Scheme::WorkZone { zones: 4 },
         Scheme::Stride { strides: 8 },
@@ -173,10 +173,12 @@ pub fn address_bus(ctx: &Ctx) -> Vec<Table> {
             Benchmark::Compress,
         ],
         move |b| {
-            let trace = Workload::Bench(b, BusKind::Address).trace(values, seed);
+            let w = Workload::Bench(b, BusKind::Address);
+            let trace = session.trace_capped(w, CAP);
+            let baseline = session.baseline_capped(w, CAP);
             let removed: Vec<f64> = schemes
                 .iter()
-                .map(|s| s.percent_removed(&trace, 1.0))
+                .map(|s| percent_energy_removed(&s.activity(&trace), &baseline, 1.0))
                 .collect();
             (format!("{b}/address"), removed)
         },
@@ -191,14 +193,12 @@ pub fn address_bus(ctx: &Ctx) -> Vec<Table> {
 
 /// Ablation: the inverted-miss fallback's contribution — window-8 with
 /// and without the "raw inverted" control state.
-pub fn miss_policy(ctx: &Ctx) -> Vec<Table> {
+pub fn miss_policy(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ablation-invert",
         "Miss policy: raw-or-inverted vs raw-only (window-8, register bus)",
         &["workload", "raw_or_inverted_pct", "raw_only_pct"],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(
         vec![
             Benchmark::Gcc,
@@ -207,8 +207,9 @@ pub fn miss_policy(ctx: &Ctx) -> Vec<Table> {
             Benchmark::Wave5,
         ],
         move |b| {
-            let trace: Trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
-            let baseline = baseline_activity(&trace);
+            let w = Workload::Bench(b, BusKind::Register);
+            let trace = session.trace_capped(w, CAP);
+            let baseline = session.baseline_capped(w, CAP);
             let cost = CostModel::default();
             let mut both: PredictiveEncoder<WindowPredictor> =
                 PredictiveEncoder::new(trace.width(), WindowPredictor::new(8), cost);
@@ -228,7 +229,7 @@ pub fn miss_policy(ctx: &Ctx) -> Vec<Table> {
 /// Timing feasibility (Table 2 meets Figure 6): at each technology's
 /// cycle time, how far can the bus reach bare vs through the transcoder
 /// pair, and how many cycles does the crossover-length path need?
-pub fn timing_budget(_ctx: &Ctx) -> Vec<Table> {
+pub fn timing_budget(_session: &Session) -> Vec<Table> {
     use hwmodel::timing::{max_length_within, path_timing};
     use hwmodel::CircuitModel;
     use wiremodel::Technology;
@@ -263,14 +264,12 @@ pub fn timing_budget(_ctx: &Ctx) -> Vec<Table> {
 /// Head-to-head of every stateful predictor family on the register bus
 /// (the engine is predictor-agnostic; this is the menu a design team
 /// would choose from).
-pub fn predictors(ctx: &Ctx) -> Vec<Table> {
+pub fn predictors(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "ext-predictors",
         "Predictor families on the register bus (% energy removed)",
         &["workload", "stride16", "window8", "context28", "fcm_o2_4k"],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let schemes = [
         Scheme::Stride { strides: 16 },
         Scheme::Window { entries: 8 },
@@ -285,10 +284,12 @@ pub fn predictors(ctx: &Ctx) -> Vec<Table> {
         },
     ];
     let rows = par_map(Benchmark::ALL.to_vec(), move |b| {
-        let trace = Workload::Bench(b, BusKind::Register).trace(values, seed);
+        let w = Workload::Bench(b, BusKind::Register);
+        let trace = session.trace_capped(w, CAP);
+        let baseline = session.baseline_capped(w, CAP);
         let removed: Vec<f64> = schemes
             .iter()
-            .map(|s| s.percent_removed(&trace, 1.0))
+            .map(|s| percent_energy_removed(&s.activity(&trace), &baseline, 1.0))
             .collect();
         (format!("{b}/register"), removed)
     });
@@ -304,19 +305,17 @@ pub fn predictors(ctx: &Ctx) -> Vec<Table> {
 /// across the 32 data bits, for an integer kernel and a floating-point
 /// kernel — the structural difference the codebook's bit-position
 /// preferences interact with.
-pub fn wire_histogram(ctx: &Ctx) -> Vec<Table> {
+pub fn wire_histogram(session: &Session) -> Vec<Table> {
     use buscoding::WireActivity;
     let mut t = Table::new(
         "ext-wirehist",
         "Transitions per wire per 1000 values, memory bus (int vs fp traffic)",
         &["wire", "go_int", "swim_fp", "apsi_fp"],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let profiles: Vec<Vec<f64>> = par_map(
         vec![Benchmark::Go, Benchmark::Swim, Benchmark::Apsi],
         move |b| {
-            let trace = Workload::Bench(b, BusKind::Memory).trace(values, seed);
+            let trace = session.trace_capped(Workload::Bench(b, BusKind::Memory), CAP);
             let mut w = WireActivity::new(32);
             w.step(0);
             for v in trace.iter() {
@@ -342,16 +341,18 @@ pub fn wire_histogram(ctx: &Ctx) -> Vec<Table> {
 
 /// Ablation: is the memory-bus coding result sensitive to the re-timing
 /// model? Compare the single-level default against the two-level (L2)
-/// hierarchy — same values, different interleaving.
-pub fn timing_model(ctx: &Ctx) -> Vec<Table> {
+/// hierarchy — same values, different interleaving. These alternative
+/// machine configurations are deliberately *not* store-keyed: each
+/// variant is generated once, used once.
+pub fn timing_model(session: &Session) -> Vec<Table> {
     use simcpu::{MachineConfig, OooConfig};
     let mut t = Table::new(
         "ablation-timing",
         "Memory-bus window-8 savings under three timing models",
         &["workload", "functional_pct", "l2_pct", "ooo_pct"],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
+    let values = session.values().min(CAP);
+    let seed = session.seed();
     let rows = par_map(
         vec![
             Benchmark::Gcc,
@@ -383,10 +384,10 @@ pub fn timing_model(ctx: &Ctx) -> Vec<Table> {
 /// wire breaks that silently — this study injects one bit flip per
 /// trial and measures whether (and how fast) the decoder *notices*,
 /// and how much silently corrupted data escapes meanwhile.
-pub fn desync(ctx: &Ctx) -> Vec<Table> {
+pub fn desync(session: &Session) -> Vec<Table> {
     use buscoding::predict::{context_value_codec, ContextConfig};
     use buscoding::workzone::{WorkZoneDecoder, WorkZoneEncoder};
-    use buscoding::{Decoder, Encoder};
+    use buscoding::{Decoder, Transcoder};
 
     let mut t = Table::new(
         "ext-desync",
@@ -398,8 +399,8 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
             "mean_silent_wrong_words",
         ],
     );
-    let values = ctx.values.min(20_000);
-    let trace = Workload::Bench(Benchmark::Gcc, BusKind::Register).trace(values, ctx.seed);
+    let trace = session.trace_capped(Workload::Bench(Benchmark::Gcc, BusKind::Register), 20_000);
+    let values = trace.len();
     const TRIALS: usize = 200;
 
     // One trial: encode the whole trace, flip `bit` of word `at`, and
@@ -407,7 +408,7 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
     // before the error or end).
     fn trial(
         bus: &[u64],
-        original: &Trace,
+        original: &bustrace::Trace,
         dec: &mut dyn Decoder,
         at: usize,
         bit: u32,
@@ -429,7 +430,7 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
     }
 
     // Deterministic injection points.
-    let mut x = 0x9E37_79B9u64 ^ ctx.seed;
+    let mut x = 0x9E37_79B9u64 ^ session.seed();
     let mut points = Vec::with_capacity(TRIALS);
     for _ in 0..TRIALS {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -439,32 +440,31 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
         ));
     }
 
-    type CodecRow = (&'static str, Box<dyn Encoder>, Box<dyn Decoder>);
-    let schemes: Vec<CodecRow> = {
+    let schemes: Vec<Transcoder> = {
         let w = trace.width();
         let (we, wd) = window_codec(WindowConfig::new(w, 8));
         let (ce, cd) = context_value_codec(ContextConfig::new(w, 28, 8));
         vec![
-            ("window(8)", Box::new(we), Box::new(wd)),
-            ("context-value(28+8)", Box::new(ce), Box::new(cd)),
-            (
+            Transcoder::new("window(8)", we, wd),
+            Transcoder::new("context-value(28+8)", ce, cd),
+            Transcoder::new(
                 "workzone(4)",
-                Box::new(WorkZoneEncoder::new(w, 4)),
-                Box::new(WorkZoneDecoder::new(w, 4)),
+                WorkZoneEncoder::new(w, 4),
+                WorkZoneDecoder::new(w, 4),
             ),
         ]
     };
 
-    for (name, mut enc, mut dec) in schemes {
-        enc.reset();
-        let lines = enc.lines();
-        let bus: Vec<u64> = trace.iter().map(|v| enc.encode(v)).collect();
+    for mut pair in schemes {
+        pair.reset();
+        let lines = pair.lines();
+        let bus: Vec<u64> = trace.iter().map(|v| pair.encode(v)).collect();
         let mut detected = 0usize;
         let mut latency_sum = 0usize;
         let mut silent_sum = 0usize;
         for &(at, bit) in &points {
             let bit = bit % lines;
-            let (err_at, silent) = trial(&bus, &trace, dec.as_mut(), at, bit);
+            let (err_at, silent) = trial(&bus, &trace, pair.decoder_mut(), at, bit);
             if let Some(e) = err_at {
                 detected += 1;
                 latency_sum += e - at;
@@ -478,7 +478,7 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
             f64::NAN
         };
         t.push(vec![
-            name.into(),
+            pair.name().into(),
             f(detected_pct, 1),
             if detected > 0 {
                 f(mean_latency, 1)
@@ -495,7 +495,7 @@ pub fn desync(ctx: &Ctx) -> Vec<Table> {
 /// much coupling energy does re-routing wires remove, with no circuit
 /// at all? Complementary to transcoding — it attacks κ where the
 /// transcoders attack τ.
-pub fn wire_reorder(ctx: &Ctx) -> Vec<Table> {
+pub fn wire_reorder(session: &Session) -> Vec<Table> {
     use buscoding::wireorder::{permute_trace, CouplingMatrix};
     use buscoding::Activity;
     let mut t = Table::new(
@@ -509,8 +509,6 @@ pub fn wire_reorder(ctx: &Ctx) -> Vec<Table> {
             "energy_removed_pct_l1",
         ],
     );
-    let values = ctx.values.min(100_000);
-    let seed = ctx.seed;
     let rows = par_map(
         vec![
             Workload::Bench(Benchmark::Apsi, BusKind::Memory),
@@ -520,7 +518,7 @@ pub fn wire_reorder(ctx: &Ctx) -> Vec<Table> {
             Workload::Random,
         ],
         move |w| {
-            let trace = w.trace(values, seed);
+            let trace = session.trace_capped(w, CAP);
             let matrix = CouplingMatrix::of(&trace);
             let order = matrix.optimize();
             let permuted = permute_trace(&trace, &order);
@@ -553,7 +551,7 @@ pub fn wire_reorder(ctx: &Ctx) -> Vec<Table> {
 /// Kernel realism dashboard: IPC, branch prediction and cache behaviour
 /// of every kernel under the out-of-order engine — the evidence that
 /// the synthetic suite behaves like programs, not noise generators.
-pub fn kernel_stats(ctx: &Ctx) -> Vec<Table> {
+pub fn kernel_stats(session: &Session) -> Vec<Table> {
     use simcpu::{Machine, MachineConfig, OooConfig, OooMachine};
     let mut t = Table::new(
         "ext-kernels",
@@ -567,8 +565,8 @@ pub fn kernel_stats(ctx: &Ctx) -> Vec<Table> {
             "fp_frac_pct",
         ],
     );
-    let budget = (ctx.values as u64).clamp(100_000, 2_000_000);
-    let seed = ctx.seed;
+    let budget = (session.values() as u64).clamp(100_000, 2_000_000);
+    let seed = session.seed();
     let rows = par_map(Benchmark::ALL.to_vec(), move |b| {
         let spec = b.kernel(seed);
         let mut ooo = OooMachine::new(spec.program.clone(), OooConfig::default());
@@ -606,19 +604,13 @@ pub fn kernel_stats(ctx: &Ctx) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    fn tiny() -> Ctx {
-        Ctx {
-            values: 10_000,
-            ..Ctx::default()
-        }
+    fn tiny() -> Session {
+        Session::builder().values(10_000).build()
     }
 
     #[test]
     fn wire_reorder_never_hurts() {
-        let t = &wire_reorder(&Ctx {
-            values: 8_000,
-            ..Ctx::default()
-        })[0];
+        let t = &wire_reorder(&Session::builder().values(8_000).build())[0];
         for row in &t.rows {
             let removed: f64 = row[3].parse().unwrap();
             assert!(
@@ -630,10 +622,7 @@ mod tests {
 
     #[test]
     fn desync_study_shape() {
-        let t = &desync(&Ctx {
-            values: 5_000,
-            ..Ctx::default()
-        })[0];
+        let t = &desync(&Session::builder().values(5_000).build())[0];
         assert_eq!(t.rows.len(), 3);
         for row in &t.rows {
             let detected: f64 = row[1].parse().unwrap();

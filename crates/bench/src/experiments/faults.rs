@@ -19,7 +19,7 @@ use buscoding::predict::{
     StrideConfig, WindowConfig,
 };
 use buscoding::robust::{epoch_wrap, RecoveringDecoder};
-use buscoding::{evaluate, Decoder, Encoder};
+use buscoding::{evaluate, Encoder, Transcoder};
 use busfault::{ErrorPolicy, FaultChannel, RandomUpsets, SingleFlip, TimingFaults};
 use bustrace::Trace;
 use hwmodel::crossover::CodingOutcome;
@@ -30,23 +30,20 @@ use wiremodel::{Technology, Wire, WireStyle};
 use crate::report::{f, opt_mm, Table};
 use crate::schemes::{baseline_activity, window_transcoder_pj_per_value};
 use crate::workloads::Workload;
-use crate::Ctx;
+use crate::Session;
 
-/// A named, freshly constructed boxed codec pair.
-type NamedCodec = (&'static str, Box<dyn Encoder>, Box<dyn Decoder>);
-
-/// The predictive schemes under test, as fresh boxed pairs.
-fn predictive_schemes(trace: &Trace) -> Vec<NamedCodec> {
+/// The predictive schemes under test, as fresh transcoder pairs.
+fn predictive_schemes(trace: &Trace) -> Vec<Transcoder> {
     let w = trace.width();
     let (se, sd) = stride_codec(StrideConfig::new(w, 8));
     let (we, wd) = window_codec(WindowConfig::new(w, 8));
     let (ce, cd) = context_value_codec(ContextConfig::new(w, 28, 8).with_divide_period(4096));
     let (fe, fd) = fcm_codec(FcmConfig::new(w, 2, 12));
     vec![
-        ("stride(8)", Box::new(se), Box::new(sd)),
-        ("window(8)", Box::new(we), Box::new(wd)),
-        ("context-value(28+8)", Box::new(ce), Box::new(cd)),
-        ("fcm(o2/2^12)", Box::new(fe), Box::new(fd)),
+        Transcoder::new("stride(8)", se, sd),
+        Transcoder::new("window(8)", we, wd),
+        Transcoder::new("context-value(28+8)", ce, cd),
+        Transcoder::new("fcm(o2/2^12)", fe, fd),
     ]
 }
 
@@ -63,20 +60,20 @@ fn mix(seed: u64, a: u64, b: u64) -> u64 {
 /// The fault-injection sweep: four tables covering random upsets,
 /// single-flip recovery, the resync energy tax, and wire-derived
 /// timing errors.
-pub fn fault_sweep(ctx: &Ctx) -> Vec<Table> {
-    let values = ctx.values.min(20_000);
-    let trace = Workload::Bench(Benchmark::Gcc, BusKind::Register).trace(values, ctx.seed);
+pub fn fault_sweep(session: &Session) -> Vec<Table> {
+    let trace = session.trace_capped(Workload::Bench(Benchmark::Gcc, BusKind::Register), 20_000);
+    let seed = session.seed();
     vec![
-        upset_sweep(ctx, &trace),
-        single_flip_recovery(ctx, &trace),
-        resync_energy(ctx, &trace),
-        timing_mode(ctx, &trace),
+        upset_sweep(seed, &trace),
+        single_flip_recovery(seed, &trace),
+        resync_energy(&trace),
+        timing_mode(seed, &trace),
     ]
 }
 
 /// Scheme × upset rate × resync interval: silent corruption and
 /// detection under uniformly random single-line upsets.
-fn upset_sweep(ctx: &Ctx, trace: &Trace) -> Table {
+fn upset_sweep(seed: u64, trace: &Trace) -> Table {
     let mut t = Table::new(
         "fault-sweep-upsets",
         "Random upsets: corruption and detection vs resync interval (gcc register bus)",
@@ -94,25 +91,28 @@ fn upset_sweep(ctx: &Ctx, trace: &Trace) -> Table {
     const RATES: [f64; 2] = [1e-4, 1e-3];
     const INTERVALS: [u64; 2] = [0, 256]; // 0 = no resync
     let channel = FaultChannel::new(ErrorPolicy::Continue);
-    for (si, (name, _, _)) in predictive_schemes(trace).iter().enumerate() {
+    let names: Vec<String> = predictive_schemes(trace)
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for (si, name) in names.iter().enumerate() {
         for (ri, &rate) in RATES.iter().enumerate() {
             for &interval in &INTERVALS {
                 // Fresh FSMs per cell: the channel resets state, but a
                 // fresh pair keeps cells fully independent.
-                let (_, enc, dec) = predictive_schemes(trace).swap_remove(si);
-                let mut fault = RandomUpsets::new(
-                    rate,
-                    mix(ctx.seed, si as u64, ((ri as u64) << 16) | interval),
-                );
+                let pair = predictive_schemes(trace).swap_remove(si);
+                let mut fault =
+                    RandomUpsets::new(rate, mix(seed, si as u64, ((ri as u64) << 16) | interval));
                 let report = if interval == 0 {
-                    let (mut enc, mut dec) = (enc, dec);
-                    channel.run(enc.as_mut(), dec.as_mut(), &mut fault, trace)
+                    let mut pair = pair;
+                    channel.run_pair(&mut pair, &mut fault, trace)
                 } else {
+                    let (enc, dec) = pair.into_parts();
                     let (mut enc, mut dec) = epoch_wrap(enc, dec, interval);
                     channel.run(&mut enc, &mut dec, &mut fault, trace)
                 };
                 t.push(vec![
-                    (*name).to_string(),
+                    name.clone(),
                     format!("{rate:e}"),
                     if interval == 0 {
                         "none".to_string()
@@ -134,7 +134,7 @@ fn upset_sweep(ctx: &Ctx, trace: &Trace) -> Table {
 /// One flipped bit per trial under epoch(128) resync plus
 /// bounded-recovery decode: every trial must reconverge within one
 /// epoch of the flip.
-fn single_flip_recovery(ctx: &Ctx, trace: &Trace) -> Table {
+fn single_flip_recovery(seed: u64, trace: &Trace) -> Table {
     let mut t = Table::new(
         "fault-sweep-flip",
         "Single bit flip under epoch(128) + recovering decode (gcc register bus)",
@@ -150,15 +150,19 @@ fn single_flip_recovery(ctx: &Ctx, trace: &Trace) -> Table {
     const TRIALS: u64 = 40;
     let words = trace.len() as u64;
     let channel = FaultChannel::new(ErrorPolicy::Continue);
-    for (si, (name, _, _)) in predictive_schemes(trace).iter().enumerate() {
+    let names: Vec<String> = predictive_schemes(trace)
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for (si, name) in names.iter().enumerate() {
         let mut recovered = 0u64;
         let mut corrupted_sum = 0u64;
         let mut max_latency = 0u64;
         for trial in 0..TRIALS {
-            let (_, enc, dec) = predictive_schemes(trace).swap_remove(si);
+            let (enc, dec) = predictive_schemes(trace).swap_remove(si).into_parts();
             let dec = RecoveringDecoder::new(dec, trace.width());
             let (mut enc, mut dec) = epoch_wrap(enc, dec, INTERVAL);
-            let x = mix(ctx.seed, si as u64, trial);
+            let x = mix(seed, si as u64, trial);
             // Leave at least one full epoch after the flip. (For very
             // short traces, fall back to flipping anywhere.)
             let at = if words > 2 * INTERVAL {
@@ -179,7 +183,7 @@ fn single_flip_recovery(ctx: &Ctx, trace: &Trace) -> Table {
             corrupted_sum += report.corrupted_words;
         }
         t.push(vec![
-            (*name).to_string(),
+            name.clone(),
             TRIALS.to_string(),
             f(recovered as f64 / TRIALS as f64 * 100.0, 1),
             f(corrupted_sum as f64 / TRIALS as f64, 2),
@@ -192,7 +196,7 @@ fn single_flip_recovery(ctx: &Ctx, trace: &Trace) -> Table {
 /// The price of robustness: epoch flushes cost predictor-refill wire
 /// energy (visible in the coded activity) plus transcoder state-clear
 /// energy (priced via the Window hardware model), moving the crossover.
-fn resync_energy(_ctx: &Ctx, trace: &Trace) -> Table {
+fn resync_energy(trace: &Trace) -> Table {
     let mut t = Table::new(
         "fault-sweep-energy",
         "Resync energy tax: window(8) percent removed and crossover vs epoch interval",
@@ -242,7 +246,7 @@ fn resync_energy(_ctx: &Ctx, trace: &Trace) -> Table {
 /// Wire-derived timing errors: per-line upset probability from the
 /// delay model, with corruption measured end to end under epoch
 /// resync + recovery.
-fn timing_mode(ctx: &Ctx, trace: &Trace) -> Table {
+fn timing_mode(seed: u64, trace: &Trace) -> Table {
     let mut t = Table::new(
         "fault-sweep-timing",
         "Timing-error mode: wire-length-derived upsets, window(8), epoch(256) + recovery",
@@ -261,7 +265,7 @@ fn timing_mode(ctx: &Ctx, trace: &Trace) -> Table {
     for (i, &len) in [5.0f64, 15.0, 25.0, 35.0].iter().enumerate() {
         let wire = Wire::new(tech, WireStyle::Repeated, len).expect("valid length");
         let mut fault =
-            TimingFaults::from_wire(&wire, CYCLE_PS, SIGMA_PS, mix(ctx.seed, 0xD1A6, i as u64));
+            TimingFaults::from_wire(&wire, CYCLE_PS, SIGMA_PS, mix(seed, 0xD1A6, i as u64));
         let (enc, dec) = window_codec(WindowConfig::new(trace.width(), 8));
         let dec = RecoveringDecoder::new(dec, trace.width());
         let (mut enc, mut dec) = epoch_wrap(enc, dec, 256);
@@ -281,17 +285,13 @@ fn timing_mode(ctx: &Ctx, trace: &Trace) -> Table {
 mod tests {
     use super::*;
 
-    fn small_ctx() -> Ctx {
-        Ctx {
-            values: 4000,
-            seed: 7,
-            out_dir: std::env::temp_dir(),
-        }
+    fn small_session() -> Session {
+        Session::builder().values(4000).seed(7).build()
     }
 
     #[test]
     fn fault_sweep_produces_four_tables() {
-        let tables = fault_sweep(&small_ctx());
+        let tables = fault_sweep(&small_session());
         assert_eq!(tables.len(), 4);
         let ids: Vec<&str> = tables.iter().map(|t| t.id.as_str()).collect();
         assert_eq!(
@@ -310,8 +310,8 @@ mod tests {
 
     #[test]
     fn fault_sweep_is_deterministic() {
-        let a = fault_sweep(&small_ctx());
-        let b = fault_sweep(&small_ctx());
+        let a = fault_sweep(&small_session());
+        let b = fault_sweep(&small_session());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.rows, y.rows, "{} differs between runs", x.id);
         }
@@ -319,9 +319,9 @@ mod tests {
 
     #[test]
     fn single_flip_always_recovers_within_epoch() {
-        let ctx = small_ctx();
-        let trace = Workload::Bench(Benchmark::Gcc, BusKind::Register).trace(4000, ctx.seed);
-        let table = single_flip_recovery(&ctx, &trace);
+        let session = small_session();
+        let trace = session.trace(Workload::Bench(Benchmark::Gcc, BusKind::Register));
+        let table = single_flip_recovery(session.seed(), &trace);
         for row in &table.rows {
             assert_eq!(
                 row[2], "100.0",
@@ -333,9 +333,9 @@ mod tests {
 
     #[test]
     fn resync_shrinks_savings_monotonically_in_flush_rate() {
-        let ctx = small_ctx();
-        let trace = Workload::Bench(Benchmark::Gcc, BusKind::Register).trace(4000, ctx.seed);
-        let table = resync_energy(&ctx, &trace);
+        let session = small_session();
+        let trace = session.trace(Workload::Bench(Benchmark::Gcc, BusKind::Register));
+        let table = resync_energy(&trace);
         // Row 0 is "none"; tighter intervals (row 1) must not beat it.
         let removed: Vec<f64> = table.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         assert!(

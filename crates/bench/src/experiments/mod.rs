@@ -11,7 +11,7 @@ pub mod traces;
 pub mod wires;
 
 use crate::report::Table;
-use crate::Ctx;
+use crate::Session;
 
 /// A reproducible experiment.
 pub struct Experiment {
@@ -19,8 +19,11 @@ pub struct Experiment {
     pub id: &'static str,
     /// What it regenerates.
     pub title: &'static str,
-    /// Produces the result table(s).
-    pub run: fn(&Ctx) -> Vec<Table>,
+    /// Produces the result table(s). Experiments pull traces and
+    /// baselines through the shared [`Session`] caches, so the same
+    /// function is safe (and cheap) to run concurrently with its
+    /// registry siblings.
+    pub run: fn(&Session) -> Vec<Table>,
 }
 
 /// Every experiment, in paper order.
@@ -234,8 +237,37 @@ pub fn registry() -> Vec<Experiment> {
     ]
 }
 
-/// Runs closures over items on worker threads, preserving order.
-pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Acquires a mutex even when a panicking sibling poisoned it — the
+/// protected data (a work queue, a slot table) stays structurally valid
+/// across a panic in user code, which never runs under these locks.
+fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// On panic, drains the pending work queue so sibling workers stop
+/// picking up new items and the pool can wind down promptly.
+struct DrainOnPanic<'a, T>(&'a std::sync::Mutex<Vec<T>>);
+
+impl<T> Drop for DrainOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            relock(self.0).clear();
+        }
+    }
+}
+
+/// Runs closures over items on worker threads, preserving input order.
+///
+/// Used both inside experiments (fanning a workload list out) and by
+/// the `repro` runner (fanning the experiments themselves out).
+///
+/// # Panics
+///
+/// A panicking closure does not take the pool down with it: pending
+/// work is drained, sibling workers finish their in-flight items with
+/// poison-tolerant locking, and the *original* panic payload is
+/// re-raised on the calling thread once every worker has stopped.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -250,16 +282,30 @@ where
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(work);
     let slots = std::sync::Mutex::new(&mut out);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = queue.lock().expect("queue").pop();
-                let Some((i, t)) = item else { break };
-                let r = f(t);
-                slots.lock().expect("slots")[i] = Some(r);
-            });
+    let first_panic = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let item = relock(&queue).pop();
+                    let Some((i, t)) = item else { break };
+                    let drain = DrainOnPanic(&queue);
+                    let r = f(t);
+                    drop(drain);
+                    relock(&slots)[i] = Some(r);
+                })
+            })
+            .collect();
+        let mut first = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first.get_or_insert(payload);
+            }
         }
+        first
     });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
     out.into_iter()
         .map(|r| r.expect("all items processed"))
         .collect()
@@ -283,5 +329,29 @@ mod tests {
     fn par_map_preserves_order() {
         let out = par_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_the_original_panic() {
+        // A panicking closure used to poison the queue mutex, killing
+        // sibling workers on `expect("queue")` before the real panic
+        // could surface. The original payload must come through intact.
+        let payload = std::panic::catch_unwind(|| {
+            par_map((0..64).collect::<Vec<i32>>(), |x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        })
+        .expect_err("a panicking closure must fail the call");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "wrong payload: {msg:?}");
+        // The pool is reusable afterwards: nothing global was poisoned.
+        assert_eq!(par_map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
     }
 }

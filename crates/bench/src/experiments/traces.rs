@@ -6,7 +6,8 @@ use simcpu::{Benchmark, BusKind};
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
-use crate::Ctx;
+use crate::workloads::Workload;
+use crate::Session;
 
 /// The four benchmarks the paper plots in Figures 7 and 8.
 fn figure_benchmarks() -> [Benchmark; 4] {
@@ -18,23 +19,28 @@ fn figure_benchmarks() -> [Benchmark; 4] {
     ]
 }
 
+/// The workload grid of both figures: four benchmarks on both buses.
+fn figure_workloads() -> Vec<Workload> {
+    let mut jobs = Vec::new();
+    for b in figure_benchmarks() {
+        for bus in [BusKind::Register, BusKind::Memory] {
+            jobs.push(Workload::Bench(b, bus));
+        }
+    }
+    jobs
+}
+
 /// Figure 7: CDF of the most frequent unique values.
-pub fn fig7(ctx: &Ctx) -> Vec<Table> {
+pub fn fig7(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig7",
         "Fraction of trace covered by the k most frequent unique values",
         &["workload", "k", "coverage"],
     );
-    let mut jobs = Vec::new();
-    for b in figure_benchmarks() {
-        for bus in [BusKind::Register, BusKind::Memory] {
-            jobs.push((b, bus));
-        }
-    }
-    let results = par_map(jobs, |(b, bus)| {
-        let trace = b.trace(bus, ctx.values, ctx.seed);
+    let results = par_map(figure_workloads(), |w| {
+        let trace = session.trace(w);
         let census = ValueCensus::of(&trace);
-        (format!("{b}/{bus}"), census.cdf_series())
+        (w.name(), census.cdf_series())
     });
     for (name, series) in results {
         for (k, cov) in series {
@@ -45,21 +51,15 @@ pub fn fig7(ctx: &Ctx) -> Vec<Table> {
 }
 
 /// Figure 8: average fraction of values unique within a window.
-pub fn fig8(ctx: &Ctx) -> Vec<Table> {
+pub fn fig8(session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig8",
         "Average fraction of unique values within a window vs window size",
         &["workload", "window", "unique_fraction"],
     );
-    let mut jobs = Vec::new();
-    for b in figure_benchmarks() {
-        for bus in [BusKind::Register, BusKind::Memory] {
-            jobs.push((b, bus));
-        }
-    }
-    let results = par_map(jobs, |(b, bus)| {
-        let trace = b.trace(bus, ctx.values, ctx.seed);
-        (format!("{b}/{bus}"), window_uniqueness_series(&trace))
+    let results = par_map(figure_workloads(), |w| {
+        let trace = session.trace(w);
+        (w.name(), window_uniqueness_series(&trace))
     });
     for (name, series) in results {
         for (w, frac) in series {
@@ -73,17 +73,14 @@ pub fn fig8(ctx: &Ctx) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    fn small_ctx() -> Ctx {
-        Ctx {
-            values: 20_000,
-            ..Ctx::default()
-        }
+    fn small_session() -> Session {
+        Session::builder().values(20_000).build()
     }
 
     #[test]
     fn fig7_coverage_needs_many_values() {
         // The paper's point: no tiny unique-value set covers the trace.
-        let t = &fig7(&small_ctx())[0];
+        let t = &fig7(&small_session())[0];
         for b in figure_benchmarks() {
             let name = format!("{b}/register");
             let cov_at_8: f64 = t
@@ -99,7 +96,7 @@ mod tests {
 
     #[test]
     fn fig8_uniqueness_falls_with_window_size() {
-        let t = &fig8(&small_ctx())[0];
+        let t = &fig8(&small_session())[0];
         let name = "swim/register";
         let rows: Vec<(usize, f64)> = t
             .rows

@@ -3,12 +3,12 @@
 use wiremodel::{Technology, Wire, WireStyle};
 
 use crate::report::{f, Table};
-use crate::Ctx;
+use crate::Session;
 
 const LENGTHS: [f64; 7] = [1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
 
 /// Table 1: effective λ for unbuffered vs repeatered wires.
-pub fn table1(_ctx: &Ctx) -> Vec<Table> {
+pub fn table1(_session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "table1",
         "Effective lambda (paper: 14.0/0.670, 16.6/0.576, 14.5/0.591)",
@@ -39,7 +39,7 @@ pub fn table1(_ctx: &Ctx) -> Vec<Table> {
 }
 
 /// Figure 5: energy per transition vs wire length.
-pub fn fig5(_ctx: &Ctx) -> Vec<Table> {
+pub fn fig5(_session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig5",
         "Wire energy (pJ per transition incl. one coupling event) vs length",
@@ -67,7 +67,7 @@ pub fn fig5(_ctx: &Ctx) -> Vec<Table> {
 }
 
 /// Figure 6: propagation delay vs wire length.
-pub fn fig6(_ctx: &Ctx) -> Vec<Table> {
+pub fn fig6(_session: &Session) -> Vec<Table> {
     let mut t = Table::new(
         "fig6",
         "Wire delay (ps) vs length: repeated linear, unbuffered quadratic",
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn table1_has_six_rows() {
-        let t = &table1(&Ctx::default())[0];
+        let t = &table1(&Session::builder().build())[0];
         assert_eq!(t.rows.len(), 6);
         // Model column within 15% of the paper column for every row.
         for row in &t.rows {
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn fig5_energy_increases_with_length() {
-        let t = &fig5(&Ctx::default())[0];
+        let t = &fig5(&Session::builder().build())[0];
         let first: f64 = t.rows[0][1].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
         assert!(last > 10.0 * first);
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn fig6_unbuffered_exceeds_repeated_at_length() {
-        let t = &fig6(&Ctx::default())[0];
+        let t = &fig6(&Session::builder().build())[0];
         let last = t.rows.last().unwrap();
         let rep: f64 = last[1].parse().unwrap();
         let bare: f64 = last[4].parse().unwrap();

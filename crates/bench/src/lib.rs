@@ -2,9 +2,11 @@
 //!
 //! The `repro` binary regenerates every table and figure of the paper's
 //! evaluation (see DESIGN.md for the per-experiment index); this library
-//! holds the pieces the experiments share: workload acquisition,
-//! scheme evaluation (behavioral activity plus circuit-level transcoder
-//! energy), and CSV/console reporting.
+//! holds the pieces the experiments share: the evaluation [`Session`]
+//! (configuration plus the content-addressed trace store and memoized
+//! baselines — see [`session`]), workload acquisition, scheme evaluation
+//! (behavioral activity plus circuit-level transcoder energy), and
+//! CSV/console reporting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,44 +16,14 @@ pub mod metrics;
 pub mod plot;
 pub mod report;
 pub mod schemes;
+pub mod session;
 pub mod workloads;
 
-use std::path::PathBuf;
-
-/// Shared experiment configuration.
-#[derive(Debug, Clone)]
-pub struct Ctx {
-    /// Bus values per (benchmark, bus) trace.
-    pub values: usize,
-    /// Data seed for the kernels and synthetic generators.
-    pub seed: u64,
-    /// Directory CSV results are written into.
-    pub out_dir: PathBuf,
-}
-
-impl Ctx {
-    /// Configuration from the environment: `REPRO_VALUES` (default
-    /// 200 000), `REPRO_SEED` (default 1), `REPRO_OUT` (default
-    /// `results/`). A malformed `REPRO_VALUES` or `REPRO_SEED` is
-    /// reported on stderr and the default used — a typo must not
-    /// silently change the experiment size.
-    pub fn from_env() -> Self {
-        let values = parse_env("REPRO_VALUES", 200_000usize);
-        let seed = parse_env("REPRO_SEED", 1u64);
-        let out_dir = std::env::var("REPRO_OUT")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| "results".into());
-        Ctx {
-            values,
-            seed,
-            out_dir,
-        }
-    }
-}
+pub use session::{Session, SessionBuilder, TraceKey, TraceStore};
 
 /// Parses an environment variable, warning (rather than silently
 /// ignoring) when it is set but unusable.
-fn parse_env<T>(var: &str, default: T) -> T
+pub(crate) fn parse_env<T>(var: &str, default: T) -> T
 where
     T: std::str::FromStr + std::fmt::Display,
 {
@@ -71,12 +43,16 @@ where
     }
 }
 
-impl Default for Ctx {
-    fn default() -> Self {
-        Ctx {
-            values: 200_000,
-            seed: 1,
-            out_dir: "results".into(),
+/// Whether an environment variable is set to a truthy value (anything
+/// except empty, `0`, `false`, `off`, `no`) — the convention `repro`
+/// flags like `REPRO_CACHE` and `REPRO_SERIAL` follow, matching
+/// `busprobe::init_from_env`.
+pub fn env_flag(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !v.is_empty() && v != "0" && v != "false" && v != "off" && v != "no"
         }
+        Err(_) => false,
     }
 }

@@ -11,11 +11,11 @@ use std::path::{Path, PathBuf};
 
 use busprobe::JsonValue;
 
-use crate::Ctx;
+use crate::Session;
 
 /// Where the runner streams metric records for this configuration.
-pub fn path(ctx: &Ctx) -> PathBuf {
-    ctx.out_dir.join("metrics.jsonl")
+pub fn path(session: &Session) -> PathBuf {
+    session.out_dir().join("metrics.jsonl")
 }
 
 /// Snapshots the probe registry and appends one record for `experiment`
@@ -25,17 +25,22 @@ pub fn path(ctx: &Ctx) -> PathBuf {
 /// # Errors
 ///
 /// Propagates I/O failures from creating or appending to the file.
-pub fn emit(ctx: &Ctx, experiment: &str, wall_s: f64, rows: u64) -> std::io::Result<PathBuf> {
+pub fn emit(
+    session: &Session,
+    experiment: &str,
+    wall_s: f64,
+    rows: u64,
+) -> std::io::Result<PathBuf> {
     let snaps = busprobe::snapshot();
     let record = JsonValue::Obj(vec![
         ("experiment".into(), JsonValue::Str(experiment.into())),
         ("wall_s".into(), JsonValue::Num(wall_s)),
-        ("values".into(), JsonValue::Int(ctx.values as i64)),
-        ("seed".into(), JsonValue::Int(ctx.seed as i64)),
+        ("values".into(), JsonValue::Int(session.values() as i64)),
+        ("seed".into(), JsonValue::Int(session.seed() as i64)),
         ("rows".into(), JsonValue::Int(rows as i64)),
         ("metrics".into(), busprobe::snapshot_to_json(&snaps)),
     ]);
-    let file = path(ctx);
+    let file = path(session);
     busprobe::append_jsonl(&file, &record)?;
     Ok(file)
 }
@@ -128,12 +133,12 @@ mod tests {
     #[test]
     fn check_accepts_emitted_records() {
         let dir = tmp_dir("emit");
-        let ctx = Ctx {
-            values: 10,
-            seed: 3,
-            out_dir: dir.clone(),
-        };
-        let file = emit(&ctx, "figX", 0.5, 4).unwrap();
+        let session = Session::builder()
+            .values(10)
+            .seed(3)
+            .out_dir(dir.clone())
+            .build();
+        let file = emit(&session, "figX", 0.5, 4).unwrap();
         let n = check_file(&file).unwrap();
         assert_eq!(n, 1);
         std::fs::remove_dir_all(&dir).ok();

@@ -217,8 +217,20 @@ fn price_both_ends(circuit: &CircuitModel, ops: &OpCounts, values: u64) -> f64 {
 /// Full measurement of the Window design on a trace: behavioral wire
 /// activity plus hardware energy, ready for crossover analysis.
 pub fn window_outcome(trace: &Trace, entries: usize, tech: Technology) -> CodingOutcome {
+    window_outcome_with_baseline(trace, baseline_activity(trace), entries, tech)
+}
+
+/// [`window_outcome`] with a precomputed baseline, so sweeps over entry
+/// counts and technologies (the crossover experiments) can reuse a
+/// memoized [`crate::Session::baseline`] instead of re-walking the
+/// trace for every grid point.
+pub fn window_outcome_with_baseline(
+    trace: &Trace,
+    baseline: Activity,
+    entries: usize,
+    tech: Technology,
+) -> CodingOutcome {
     let coded = Scheme::Window { entries }.activity(trace);
-    let baseline = baseline_activity(trace);
     let transcoder = window_transcoder_pj_per_value(trace, entries, tech);
     CodingOutcome::new(baseline, coded, trace.len() as u64, transcoder)
 }

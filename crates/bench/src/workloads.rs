@@ -6,7 +6,7 @@ use bustrace::{Trace, Width};
 use simcpu::{Benchmark, BusKind};
 
 /// A named workload: either a benchmark bus tap or synthetic traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// A SPEC-like kernel observed on one bus.
     Bench(Benchmark, BusKind),

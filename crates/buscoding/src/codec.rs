@@ -77,6 +77,122 @@ impl<D: Decoder + ?Sized> Decoder for Box<D> {
     }
 }
 
+/// A named encoder/decoder pair owned as one unit.
+///
+/// Every scheme in this crate is constructed as two synchronous FSMs,
+/// and harnesses that exercise both ends (fault channels, round-trip
+/// sweeps) previously threaded `Box<dyn Encoder>` and `Box<dyn Decoder>`
+/// side by side through every signature. A `Transcoder` bundles the pair
+/// with its display name and keeps the two FSMs' lifecycles (reset,
+/// line-count agreement) in one place.
+pub struct Transcoder {
+    name: String,
+    encoder: Box<dyn Encoder>,
+    decoder: Box<dyn Decoder>,
+}
+
+impl Transcoder {
+    /// Bundles a pair under a display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoder and decoder disagree on the line count —
+    /// such a pair could never have come from one scheme constructor.
+    pub fn new(
+        name: impl Into<String>,
+        encoder: impl Encoder + 'static,
+        decoder: impl Decoder + 'static,
+    ) -> Self {
+        Self::from_boxed(name, Box::new(encoder), Box::new(decoder))
+    }
+
+    /// [`Transcoder::new`] for already-boxed trait objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoder and decoder disagree on the line count.
+    pub fn from_boxed(
+        name: impl Into<String>,
+        encoder: Box<dyn Encoder>,
+        decoder: Box<dyn Decoder>,
+    ) -> Self {
+        let name = name.into();
+        assert_eq!(
+            encoder.lines(),
+            decoder.lines(),
+            "transcoder {name:?}: encoder drives {} lines but decoder expects {}",
+            encoder.lines(),
+            decoder.lines()
+        );
+        Transcoder {
+            name,
+            encoder,
+            decoder,
+        }
+    }
+
+    /// The display name, e.g. `window(8)`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Physical bus lines of the pair (identical at both ends).
+    pub fn lines(&self) -> u32 {
+        self.encoder.lines()
+    }
+
+    /// Resets both FSMs to their power-on state.
+    pub fn reset(&mut self) {
+        self.encoder.reset();
+        self.decoder.reset();
+    }
+
+    /// Encodes the next word through the sending end.
+    pub fn encode(&mut self, value: Word) -> u64 {
+        self.encoder.encode(value)
+    }
+
+    /// Decodes the next bus state through the receiving end.
+    ///
+    /// # Errors
+    ///
+    /// As [`Decoder::decode`].
+    pub fn decode(&mut self, bus_state: u64) -> Result<Word, RoundTripError> {
+        self.decoder.decode(bus_state)
+    }
+
+    /// The sending end alone.
+    pub fn encoder_mut(&mut self) -> &mut dyn Encoder {
+        self.encoder.as_mut()
+    }
+
+    /// The receiving end alone.
+    pub fn decoder_mut(&mut self) -> &mut dyn Decoder {
+        self.decoder.as_mut()
+    }
+
+    /// Both ends at once, mutably — for harnesses (such as a fault
+    /// channel) that drive the encoder and decoder against each other.
+    pub fn split_mut(&mut self) -> (&mut dyn Encoder, &mut dyn Decoder) {
+        (self.encoder.as_mut(), self.decoder.as_mut())
+    }
+
+    /// Unbundles the pair, e.g. to re-wrap both ends in epoch-resync
+    /// adapters.
+    pub fn into_parts(self) -> (Box<dyn Encoder>, Box<dyn Decoder>) {
+        (self.encoder, self.decoder)
+    }
+}
+
+impl fmt::Debug for Transcoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transcoder")
+            .field("name", &self.name)
+            .field("lines", &self.lines())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Error reported when a decoder observes a bus state inconsistent with
 /// its synchronized model of the encoder.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,6 +337,38 @@ mod tests {
         let err = verify_roundtrip(&mut enc, &mut dec, &trace).unwrap_err();
         assert!(err.to_string().contains("32 lines"));
         assert_eq!(err.step(), None);
+    }
+
+    #[test]
+    fn transcoder_bundles_a_pair() {
+        let trace = Trace::from_values(Width::W32, [5u64, 6, 7, 7]);
+        let mut t = Transcoder::new(
+            "identity",
+            IdentityCodec::new(Width::W32),
+            IdentityCodec::new(Width::W32),
+        );
+        assert_eq!(t.name(), "identity");
+        assert_eq!(t.lines(), 32);
+        t.reset();
+        for v in trace.iter() {
+            let bus = t.encode(v);
+            assert_eq!(t.decode(bus).unwrap(), v);
+        }
+        let (enc, dec) = t.split_mut();
+        assert_eq!(enc.lines(), dec.lines());
+        let (enc, dec) = t.into_parts();
+        assert_eq!(enc.lines(), 32);
+        assert_eq!(dec.lines(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 lines")]
+    fn transcoder_rejects_mismatched_pair() {
+        let _ = Transcoder::new(
+            "bad",
+            IdentityCodec::new(Width::W32),
+            IdentityCodec::new(Width::new(16).unwrap()),
+        );
     }
 
     #[test]

@@ -208,6 +208,22 @@ impl FaultChannel {
         }
         report
     }
+
+    /// [`FaultChannel::run`] over a bundled [`buscoding::Transcoder`]
+    /// pair — the
+    /// common case where both ends travel together.
+    pub fn run_pair<F>(
+        &self,
+        pair: &mut buscoding::Transcoder,
+        fault: &mut F,
+        trace: &Trace,
+    ) -> FaultReport
+    where
+        F: FaultModel + ?Sized,
+    {
+        let (encoder, decoder) = pair.split_mut();
+        self.run(encoder, decoder, fault, trace)
+    }
 }
 
 #[cfg(test)]
@@ -342,5 +358,18 @@ mod tests {
         assert_eq!(r.words, 100);
         let _ = r;
         let _unused: Word = 0;
+    }
+
+    #[test]
+    fn run_pair_matches_run_on_split_ends() {
+        let trace = looping_trace(400);
+        let (enc, dec) = window_codec(WindowConfig::new(Width::W32, 8));
+        let mut pair = buscoding::Transcoder::new("window(8)", enc, dec);
+        let mut fault = SingleFlip::new(37, 4);
+        let bundled = FaultChannel::default().run_pair(&mut pair, &mut fault, &trace);
+        let (mut enc, mut dec) = window_codec(WindowConfig::new(Width::W32, 8));
+        let mut fault = SingleFlip::new(37, 4);
+        let split = FaultChannel::default().run(&mut enc, &mut dec, &mut fault, &trace);
+        assert_eq!(bundled, split);
     }
 }

@@ -1,16 +1,23 @@
 //! Explore the Window-design space: entries × technology → break-even
 //! wire length, the decision a physical designer would actually make.
 //!
+//! The grid is 4 entry counts × 4 technologies, but the [`Session`]
+//! trace store generates each SPECint trace (and its baseline
+//! activity) exactly once — the 16 grid cells share them.
+//!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use bench::schemes::window_outcome;
+use bench::schemes::window_outcome_with_baseline;
+use bench::workloads::Workload;
+use bench::Session;
 use hwmodel::crossover::median;
-use simcpu::{Benchmark, BusKind};
+use simcpu::BusKind;
 use wiremodel::{Technology, WireStyle};
 
 fn main() {
+    let session = Session::builder().values(60_000).seed(3).build();
     let entries_options = [4usize, 8, 16, 32];
     println!("median break-even length (mm) over the SPECint register-bus suite\n");
     print!("{:<10}", "entries");
@@ -22,11 +29,13 @@ fn main() {
     for entries in entries_options {
         print!("{entries:<10}");
         for tech in Technology::all() {
-            let crossovers: Vec<f64> = Benchmark::spec_int()
+            let crossovers: Vec<f64> = Workload::spec_int(BusKind::Register)
                 .into_iter()
-                .filter_map(|b| {
-                    let trace = b.trace(BusKind::Register, 60_000, 3);
-                    window_outcome(&trace, entries, tech).crossover_mm(tech, WireStyle::Repeated)
+                .filter_map(|w| {
+                    let trace = session.trace(w);
+                    let baseline = session.baseline(w);
+                    window_outcome_with_baseline(&trace, baseline, entries, tech)
+                        .crossover_mm(tech, WireStyle::Repeated)
                 })
                 .collect();
             match median(crossovers) {

@@ -3,25 +3,21 @@
 //! EXPERIMENTS.md re-checkable.
 
 use bench::experiments::{registry, Experiment};
-use bench::Ctx;
+use bench::Session;
 
-fn run_csv(e: &Experiment, ctx: &Ctx) -> Vec<String> {
-    (e.run)(ctx).iter().map(|t| t.to_csv()).collect()
+fn run_csv(e: &Experiment, session: &Session) -> Vec<String> {
+    (e.run)(session).iter().map(|t| t.to_csv()).collect()
 }
 
 #[test]
 fn experiments_are_deterministic() {
-    let ctx = Ctx {
-        values: 8_000,
-        seed: 123,
-        out_dir: std::env::temp_dir(),
-    };
+    let session = Session::builder().values(8_000).seed(123).build();
     // A representative, cheap subset covering each experiment family.
     for id in ["table1", "fig8", "fig17", "fig19", "table3"] {
         let exps = registry();
         let e = exps.iter().find(|e| e.id == id).expect("known id");
-        let a = run_csv(e, &ctx);
-        let b = run_csv(e, &ctx);
+        let a = run_csv(e, &session);
+        let b = run_csv(e, &session);
         assert_eq!(a, b, "{id}: two runs with the same seed diverged");
     }
 }
@@ -30,22 +26,8 @@ fn experiments_are_deterministic() {
 fn seed_changes_the_data_but_not_the_shape() {
     let exps = registry();
     let e = exps.iter().find(|e| e.id == "fig19").expect("known id");
-    let a = run_csv(
-        e,
-        &Ctx {
-            values: 8_000,
-            seed: 1,
-            out_dir: std::env::temp_dir(),
-        },
-    );
-    let b = run_csv(
-        e,
-        &Ctx {
-            values: 8_000,
-            seed: 2,
-            out_dir: std::env::temp_dir(),
-        },
-    );
+    let a = run_csv(e, &Session::builder().values(8_000).seed(1).build());
+    let b = run_csv(e, &Session::builder().values(8_000).seed(2).build());
     assert_ne!(
         a, b,
         "different seeds should produce different measurements"

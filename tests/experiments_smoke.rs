@@ -5,19 +5,15 @@
 use std::collections::HashSet;
 
 use bench::experiments::registry;
-use bench::Ctx;
+use bench::Session;
 
 #[test]
 fn every_experiment_runs_and_produces_rows() {
-    let ctx = Ctx {
-        values: 2_000,
-        seed: 3,
-        out_dir: std::env::temp_dir(),
-    };
+    let session = Session::builder().values(2_000).seed(3).build();
     let mut ids = HashSet::new();
     for e in registry() {
         assert!(ids.insert(e.id), "duplicate experiment id {}", e.id);
-        let tables = (e.run)(&ctx);
+        let tables = (e.run)(&session);
         assert!(!tables.is_empty(), "{} produced no tables", e.id);
         for t in tables {
             assert!(
