@@ -1,0 +1,391 @@
+//! `adaptive`: the online scheme-selection controller versus the best
+//! static choice and the clairvoyant oracle.
+//!
+//! Three tables:
+//!
+//! * `adaptive-policy` — per workload: the best single static scheme
+//!   (untaxed — the strongest baseline), the greedy-shadow and
+//!   banded-hysteresis controllers, and the oracle-per-window replay,
+//!   with net energy *after* the switch/flush tax and the shifted
+//!   crossover;
+//! * `adaptive-sweep` — decision period × hysteresis band on the
+//!   phase-change workload;
+//! * `adaptive-residency` — how many words each candidate scheme
+//!   actually carried under the greedy controller.
+//!
+//! Switch pricing: every decision boundary is an epoch flush, and a
+//! switch adds one more flush-equivalent (the incoming scheme's state
+//! must be cleared at both ends). Both are charged through
+//! `CodingOutcome::with_resync_tax` at the Window CAM-clear energy,
+//! matching `fault-sweep`'s resync accounting.
+
+use busadapt::{
+    oracle_schedule, AdaptReport, AdaptiveConfig, AdaptiveTranscoder, BandedHysteresisPolicy,
+    GreedyShadowPolicy, OraclePolicy, Policy,
+};
+use buscoding::{evaluate, scheme_by_name, Activity};
+use bustrace::Trace;
+use hwmodel::crossover::CodingOutcome;
+use hwmodel::CircuitModel;
+use simcpu::{Benchmark, BusKind};
+use wiremodel::{Technology, Wire, WireStyle};
+
+use crate::experiments::par_map;
+use crate::report::{f, opt_mm, Table};
+use crate::workloads::Workload;
+use crate::Session;
+
+/// The candidate pool every controller in this experiment selects from.
+pub const CANDIDATES: [&str; 6] = [
+    "identity",
+    "inversion(1ch l1)",
+    "window(8)",
+    "stride(8)",
+    "fcm(2 2^12)",
+    "workzone(4)",
+];
+
+/// Default decision period in words.
+const PERIOD: u64 = 512;
+
+/// Per-trace word cap: enough for several phases of both phased
+/// workloads without dominating `repro all`.
+const CAP: usize = 16_384;
+
+/// The reference wire for net-energy comparisons.
+const NORM_MM: f64 = 10.0;
+
+/// Per-flush (and per-switch) energy: clearing the Window CAM rewrites
+/// every entry at both ends — the same price `fault-sweep` charges.
+fn pj_per_flush(tech: Technology) -> f64 {
+    const ENTRIES: usize = 8;
+    2.0 * ENTRIES as f64 * CircuitModel::window(tech, ENTRIES).energies().shift
+}
+
+/// Runs a controller with the given policy over a trace and returns the
+/// wire activity it actually produced plus its own tally.
+fn run_controller(
+    trace: &Trace,
+    period: u64,
+    policy: Box<dyn Policy>,
+    initial: usize,
+) -> (Activity, AdaptReport) {
+    let cfg = AdaptiveConfig::new(trace.width(), CANDIDATES, period).with_initial(initial);
+    let mut adaptive =
+        AdaptiveTranscoder::new(cfg, policy).expect("candidate pool uses registry names");
+    let coded = evaluate(adaptive.transcoder_mut().encoder_mut(), trace);
+    (coded, adaptive.report())
+}
+
+/// Net outcome of an adaptive run: wire activity plus the flush/switch
+/// tax (a switch costs one extra flush-equivalent on top of the
+/// boundary flush it rides on).
+fn taxed_outcome(
+    baseline: Activity,
+    coded: Activity,
+    values: u64,
+    report: &AdaptReport,
+    tech: Technology,
+) -> CodingOutcome {
+    CodingOutcome::new(baseline, coded, values, 0.0)
+        .with_resync_tax(report.flushes + report.switches, pj_per_flush(tech))
+}
+
+/// One `adaptive-policy` row.
+fn policy_row(
+    workload: &str,
+    policy: &str,
+    base_cost: f64,
+    coded: &Activity,
+    outcome: &CodingOutcome,
+    report: Option<&AdaptReport>,
+    tech: Technology,
+) -> Vec<String> {
+    let wire = Wire::new(tech, WireStyle::Repeated, NORM_MM).expect("valid length");
+    vec![
+        workload.to_string(),
+        policy.to_string(),
+        f((1.0 - coded.weighted(1.0) / base_cost) * 100.0, 1),
+        report.map_or(0, |r| r.switches).to_string(),
+        report.map_or(0, |r| r.flushes).to_string(),
+        report.map_or(0, |r| r.resyncs).to_string(),
+        f(outcome.normalized_total_energy(&wire), 4),
+        opt_mm(outcome.crossover_mm(tech, WireStyle::Repeated)),
+    ]
+}
+
+/// The workloads of `adaptive-policy` and `adaptive-residency`: both
+/// synthetic phase-change classes plus two `simcpu` kernels.
+fn policy_workloads() -> Vec<Workload> {
+    vec![
+        Workload::PHASED,
+        Workload::PHASED_FAST,
+        Workload::Bench(Benchmark::Gcc, BusKind::Register),
+        Workload::Bench(Benchmark::Swim, BusKind::Memory),
+    ]
+}
+
+/// The experiment entry point: three tables.
+pub fn adaptive(session: &Session) -> Vec<Table> {
+    let _span = busprobe::span("bench.experiments.adaptive");
+    vec![
+        policy_table(session),
+        sweep_table(session),
+        residency_table(session),
+    ]
+}
+
+/// Adaptive vs best-static vs oracle, per workload.
+fn policy_table(session: &Session) -> Table {
+    let mut t = Table::new(
+        "adaptive-policy",
+        "Adaptive scheme selection vs best static and oracle (net of switch tax)",
+        &[
+            "workload",
+            "policy",
+            "percent_removed",
+            "switches",
+            "flushes",
+            "resyncs",
+            "norm_energy_10mm",
+            "crossover_mm",
+        ],
+    );
+    let tech = Technology::tech_013();
+    let rows = par_map(policy_workloads(), |w| {
+        let trace = session.trace_capped(w, CAP);
+        let baseline = session.baseline_capped(w, CAP);
+        let base_cost = baseline.weighted(1.0);
+        let values = trace.len() as u64;
+        let name = w.name();
+        let mut rows = Vec::new();
+
+        // Best static scheme, untaxed: no controller, no flushes — the
+        // strongest baseline the adaptive policies must beat.
+        let static_runs: Vec<(&str, Activity)> = CANDIDATES
+            .iter()
+            .map(|&s| {
+                let mut pair = scheme_by_name(s, trace.width()).expect("registry name");
+                (s, evaluate(pair.encoder_mut(), &trace))
+            })
+            .collect();
+        let (best_name, best_coded) = static_runs
+            .into_iter()
+            .min_by(|(_, a), (_, b)| {
+                a.weighted(1.0)
+                    .partial_cmp(&b.weighted(1.0))
+                    .expect("costs are finite")
+            })
+            .expect("non-empty pool");
+        let outcome = CodingOutcome::new(baseline, best_coded, values, 0.0);
+        rows.push(policy_row(
+            &name,
+            &format!("static:{best_name}"),
+            base_cost,
+            &best_coded,
+            &outcome,
+            None,
+            tech,
+        ));
+
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(GreedyShadowPolicy::new(0.02)),
+            Box::new(BandedHysteresisPolicy::new(0.05, 2)),
+        ];
+        for policy in policies {
+            let label = policy.name();
+            let (coded, report) = run_controller(&trace, PERIOD, policy, 0);
+            let outcome = taxed_outcome(baseline, coded, values, &report, tech);
+            rows.push(policy_row(
+                &name,
+                &label,
+                base_cost,
+                &coded,
+                &outcome,
+                Some(&report),
+                tech,
+            ));
+        }
+
+        let candidates: Vec<String> = CANDIDATES.iter().map(|s| s.to_string()).collect();
+        let schedule =
+            oracle_schedule(&trace, &candidates, PERIOD, 1.0).expect("registry names");
+        let initial = schedule.first().copied().unwrap_or(0);
+        let (coded, report) =
+            run_controller(&trace, PERIOD, Box::new(OraclePolicy::new(schedule)), initial);
+        let outcome = taxed_outcome(baseline, coded, values, &report, tech);
+        rows.push(policy_row(
+            &name,
+            "oracle",
+            base_cost,
+            &coded,
+            &outcome,
+            Some(&report),
+            tech,
+        ));
+        rows
+    });
+    for row in rows.into_iter().flatten() {
+        t.push(row);
+    }
+    t
+}
+
+/// Decision period × hysteresis band, greedy policy, phase-change
+/// workload.
+fn sweep_table(session: &Session) -> Table {
+    let mut t = Table::new(
+        "adaptive-sweep",
+        "Greedy controller: decision period x hysteresis band (phased/4096)",
+        &[
+            "period",
+            "hysteresis",
+            "switches",
+            "flushes",
+            "percent_removed",
+            "norm_energy_10mm",
+            "crossover_mm",
+        ],
+    );
+    let tech = Technology::tech_013();
+    let trace = session.trace_capped(Workload::PHASED, CAP);
+    let baseline = session.baseline_capped(Workload::PHASED, CAP);
+    let base_cost = baseline.weighted(1.0);
+    let values = trace.len() as u64;
+    let wire = Wire::new(tech, WireStyle::Repeated, NORM_MM).expect("valid length");
+    let mut grid = Vec::new();
+    for &period in &[128u64, 512, 2048] {
+        for &band in &[0.0f64, 0.05, 0.20] {
+            grid.push((period, band));
+        }
+    }
+    let rows = par_map(grid, |(period, band)| {
+        let (coded, report) = run_controller(
+            &trace,
+            period,
+            Box::new(GreedyShadowPolicy::new(band)),
+            0,
+        );
+        let outcome = taxed_outcome(baseline, coded, values, &report, tech);
+        vec![
+            period.to_string(),
+            f(band, 2),
+            report.switches.to_string(),
+            report.flushes.to_string(),
+            f((1.0 - coded.weighted(1.0) / base_cost) * 100.0, 1),
+            f(outcome.normalized_total_energy(&wire), 4),
+            opt_mm(outcome.crossover_mm(tech, WireStyle::Repeated)),
+        ]
+    });
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// Words each candidate actually carried under the greedy controller.
+fn residency_table(session: &Session) -> Table {
+    let mut t = Table::new(
+        "adaptive-residency",
+        "Greedy controller residency: words carried per candidate scheme",
+        &["workload", "scheme", "words", "share_pct"],
+    );
+    let rows = par_map(policy_workloads(), |w| {
+        let trace = session.trace_capped(w, CAP);
+        let (_, report) =
+            run_controller(&trace, PERIOD, Box::new(GreedyShadowPolicy::new(0.02)), 0);
+        let total = report.words.max(1);
+        report
+            .residency
+            .iter()
+            .map(|(scheme, words)| {
+                vec![
+                    w.name(),
+                    scheme.clone(),
+                    words.to_string(),
+                    f(*words as f64 / total as f64 * 100.0, 1),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_session() -> Session {
+        Session::builder().values(6000).seed(7).build()
+    }
+
+    #[test]
+    fn adaptive_produces_three_tables() {
+        let tables = adaptive(&small_session());
+        let ids: Vec<&str> = tables.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["adaptive-policy", "adaptive-sweep", "adaptive-residency"]
+        );
+        for table in &tables {
+            assert!(!table.rows.is_empty(), "{} is empty", table.id);
+        }
+        // Four workloads x (best-static + greedy + banded + oracle).
+        assert_eq!(tables[0].rows.len(), 16);
+        // Every workload's residency shares sum to ~100.
+        for w in policy_workloads() {
+            let total: f64 = tables[2]
+                .rows
+                .iter()
+                .filter(|r| r[0] == w.name())
+                .map(|r| r[3].parse::<f64>().unwrap())
+                .sum();
+            assert!((total - 100.0).abs() < 1.0, "{}: {total}", w.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_is_deterministic() {
+        let a = adaptive(&small_session());
+        let b = adaptive(&small_session());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rows, y.rows, "{} differs between runs", x.id);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_best_static_after_tax_on_phase_changes() {
+        // The headline acceptance claim, on the fast-phase workload with
+        // enough words for many phases.
+        let session = Session::builder().values(CAP).seed(1).build();
+        let table = policy_table(&session);
+        let energy = |workload: &str, policy_prefix: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == workload && r[1].starts_with(policy_prefix))
+                .unwrap_or_else(|| panic!("missing {workload}/{policy_prefix}"))[6]
+                .parse()
+                .unwrap()
+        };
+        let mut greedy_won = false;
+        for w in ["phased/4096", "phased/1024"] {
+            let stat = energy(w, "static:");
+            let greedy = energy(w, "greedy(");
+            let oracle = energy(w, "oracle");
+            // The oracle is a floor for every adaptive policy.
+            assert!(
+                oracle <= greedy + 1e-9,
+                "{w}: oracle {oracle} worse than greedy {greedy}"
+            );
+            greedy_won |= greedy < stat;
+        }
+        assert!(
+            greedy_won,
+            "greedy never beat the best static scheme on a phase-change workload"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! ablations DESIGN.md calls out.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod circuits;
 pub mod coding;
 pub mod crossover;
@@ -233,6 +234,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ext-kernels",
             title: "Kernel execution characteristics",
             run: extensions::kernel_stats,
+        },
+        Experiment {
+            id: "adaptive",
+            title: "Online adaptive scheme selection vs static and oracle",
+            run: adaptive::adaptive,
         },
     ]
 }

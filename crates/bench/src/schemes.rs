@@ -1,14 +1,8 @@
 //! Scheme construction and evaluation: behavioral bus activity plus
 //! circuit-level transcoder energy.
 
-use buscoding::inversion::{InversionEncoder, PatternSet};
-use buscoding::predict::{
-    context_transition_codec, context_value_codec, fcm_codec, stride_codec, window_codec,
-    ContextConfig, FcmConfig, StrideConfig, WindowConfig,
-};
-use buscoding::workzone::WorkZoneEncoder;
-use buscoding::{evaluate, Activity, CostModel, IdentityCodec};
-use bustrace::Trace;
+use buscoding::{evaluate, scheme_by_name, Activity, IdentityCodec, Transcoder};
+use bustrace::{Trace, Width};
 use hwmodel::crossover::CodingOutcome;
 use hwmodel::{CircuitModel, ContextHardware, ContextHwConfig, OpCounts, WindowHardware};
 use wiremodel::Technology;
@@ -104,58 +98,26 @@ impl Scheme {
         }
     }
 
+    /// A fresh encoder/decoder pair for this scheme at the given bus
+    /// width, built through the shared `buscoding` factory registry —
+    /// [`Scheme::name`] strings *are* the registry's grammar, so this
+    /// can never drift from what other registry consumers (the adaptive
+    /// controller, tools) construct for the same name.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the enum and the registry grammar fall out of
+    /// sync — a bug, covered by `scheme_names_build_via_registry`.
+    pub fn transcoder(&self, width: Width) -> Transcoder {
+        scheme_by_name(&self.name(), width)
+            .unwrap_or_else(|e| panic!("Scheme::name emitted an unregistered name: {e}"))
+    }
+
     /// Behavioral bus activity of this scheme over a trace, with the
     /// paper's default λ = 1 codebook ordering.
     pub fn activity(&self, trace: &Trace) -> Activity {
-        let w = trace.width();
-        match *self {
-            Scheme::Window { entries } => {
-                let (mut enc, _) = window_codec(WindowConfig::new(w, entries));
-                evaluate(&mut enc, trace)
-            }
-            Scheme::Stride { strides } => {
-                let (mut enc, _) = stride_codec(StrideConfig::new(w, strides));
-                evaluate(&mut enc, trace)
-            }
-            Scheme::ContextValue {
-                table,
-                shift,
-                divide,
-            } => {
-                let cfg = ContextConfig::new(w, table, shift).with_divide_period(divide);
-                let (mut enc, _) = context_value_codec(cfg);
-                evaluate(&mut enc, trace)
-            }
-            Scheme::ContextTransition {
-                table,
-                shift,
-                divide,
-            } => {
-                let cfg = ContextConfig::new(w, table, shift).with_divide_period(divide);
-                let (mut enc, _) = context_transition_codec(cfg);
-                evaluate(&mut enc, trace)
-            }
-            Scheme::Inversion {
-                chunks,
-                design_lambda,
-            } => {
-                let patterns = if chunks <= 1 {
-                    PatternSet::bus_invert(w)
-                } else {
-                    PatternSet::chunked(w, chunks)
-                };
-                let mut enc = InversionEncoder::new(patterns, CostModel::new(design_lambda));
-                evaluate(&mut enc, trace)
-            }
-            Scheme::WorkZone { zones } => {
-                let mut enc = WorkZoneEncoder::new(w, zones);
-                evaluate(&mut enc, trace)
-            }
-            Scheme::Fcm { order, table_bits } => {
-                let (mut enc, _) = fcm_codec(FcmConfig::new(w, order, table_bits));
-                evaluate(&mut enc, trace)
-            }
-        }
+        let mut pair = self.transcoder(trace.width());
+        evaluate(pair.encoder_mut(), trace)
     }
 
     /// Percent of λ-weighted energy removed relative to the un-encoded

@@ -1,9 +1,16 @@
 //! Workload acquisition: benchmark bus traces and the controlled
 //! synthetic traffic classes the paper contrasts them with.
 
-use bustrace::generators::{TraceGenerator, UniformRandomGen};
+use bustrace::generators::{
+    PhasedGen, StrideGen, TraceGenerator, UniformRandomGen, WorkingSetGen,
+};
 use bustrace::{Trace, Width};
 use simcpu::{Benchmark, BusKind};
+
+/// Stride of the phased workload's ramp: the golden-ratio constant, so
+/// consecutive words differ in about half their bits — an expensive
+/// baseline that only a stride predictor can flatten.
+const PHASED_STRIDE: u64 = 0x9E37_79B9;
 
 /// A named workload: either a benchmark bus tap or synthetic traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,14 +19,34 @@ pub enum Workload {
     Bench(Benchmark, BusKind),
     /// Uniformly random words — the traffic previous studies used.
     Random,
+    /// Phase-changing traffic: a hot working-set loop alternating with
+    /// a large-stride ramp every `phase` words. The ramp's stride
+    /// toggles roughly half the bus per word, so both phases carry real
+    /// energy, yet each is cheap for exactly one predictor family —
+    /// window codecs own the loop, stride codecs own the ramp. No
+    /// single static scheme fits both — the stress case for the
+    /// adaptive controller.
+    Phased {
+        /// Words per phase before the traffic character flips.
+        phase: usize,
+    },
 }
 
 impl Workload {
-    /// Display name, e.g. `gcc/register` or `random`.
+    /// Phase-change traffic with the adaptive experiments' default
+    /// phase length.
+    pub const PHASED: Workload = Workload::Phased { phase: 4096 };
+
+    /// Phase-change traffic with short phases — stresses decision
+    /// periods that are a sizable fraction of the phase.
+    pub const PHASED_FAST: Workload = Workload::Phased { phase: 1024 };
+
+    /// Display name, e.g. `gcc/register` or `phased/4096`.
     pub fn name(&self) -> String {
         match self {
             Workload::Bench(b, bus) => format!("{b}/{bus}"),
             Workload::Random => "random".into(),
+            Workload::Phased { phase } => format!("phased/{phase}"),
         }
     }
 
@@ -33,6 +60,11 @@ impl Workload {
         match self {
             Workload::Bench(b, bus) => b.trace(*bus, values, seed),
             Workload::Random => UniformRandomGen::new(Width::W32, seed).generate(values),
+            Workload::Phased { phase } => {
+                let loops = WorkingSetGen::new(Width::W32, 6, 1.2, 0.0, seed);
+                let ramp = StrideGen::new(Width::W32, 0x4000_0000, PHASED_STRIDE);
+                PhasedGen::new(vec![Box::new(loops), Box::new(ramp)], *phase).generate(values)
+            }
         }
     }
 
@@ -80,6 +112,20 @@ mod tests {
             "gcc/register"
         );
         assert_eq!(Workload::Random.name(), "random");
+        assert_eq!(Workload::PHASED.name(), "phased/4096");
+    }
+
+    #[test]
+    fn phased_trace_alternates_character() {
+        let t = Workload::PHASED_FAST.trace(4096, 3);
+        assert_eq!(t.len(), 4096);
+        // Second phase (words 1024..2048) is a pure strided ramp.
+        let v = t.values();
+        assert!((1025..2048)
+            .all(|i| v[i] == v[i - 1].wrapping_add(PHASED_STRIDE) & Width::W32.mask()));
+        // First phase revisits a small working set.
+        let unique: std::collections::HashSet<_> = v[..1024].iter().collect();
+        assert!(unique.len() <= 6, "{} unique loop values", unique.len());
     }
 
     #[test]

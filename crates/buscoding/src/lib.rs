@@ -56,6 +56,8 @@ pub mod varlen;
 pub mod wireorder;
 pub mod workzone;
 
+pub mod registry;
+
 mod codebook;
 mod codec;
 mod identity;
@@ -66,3 +68,4 @@ pub use codec::{evaluate, verify_roundtrip, Decoder, Encoder, RoundTripError, Tr
 pub use energy::{Activity, CostModel, WireActivity};
 pub use identity::IdentityCodec;
 pub use metrics::{normalized_energy_remaining, percent_energy_removed, SchemeReport};
+pub use registry::{scheme_by_name, UnknownScheme, SCHEME_PATTERNS};

@@ -1,0 +1,272 @@
+//! The scheme factory registry: construct any coding scheme in this
+//! crate from its display name.
+//!
+//! Every scheme already carries a canonical display name (the strings
+//! `bench` prints in its tables: `window(8)`, `context-value(28+8
+//! d4096)`, …). Before this module, each consumer that needed to build
+//! schemes *by name* — the bench harness, the adaptive controller, ad
+//! hoc tools — kept its own construction table. [`scheme_by_name`] is
+//! the one shared table: it parses a canonical name and returns a fresh
+//! [`Transcoder`] pair, so candidate lists can be plain `&str` slices
+//! and two consumers can never disagree about what `stride(8)` means.
+//!
+//! # Example
+//!
+//! ```
+//! use buscoding::{scheme_by_name, verify_roundtrip};
+//! use bustrace::{Trace, Width};
+//!
+//! let mut pair = scheme_by_name("window(8)", Width::W32).unwrap();
+//! let trace = Trace::from_values(Width::W32, (0..100u64).map(|i| i % 7));
+//! let (enc, dec) = pair.split_mut();
+//! verify_roundtrip(enc, dec, &trace).unwrap();
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bustrace::Width;
+
+use crate::codec::Transcoder;
+use crate::energy::CostModel;
+use crate::identity::IdentityCodec;
+use crate::inversion::{InversionDecoder, InversionEncoder, PatternSet};
+use crate::predict::{
+    context_transition_codec, context_value_codec, fcm_codec, stride_codec, window_codec,
+    ContextConfig, FcmConfig, StrideConfig, WindowConfig,
+};
+use crate::workzone::{WorkZoneDecoder, WorkZoneEncoder};
+
+/// Error returned when a scheme name cannot be parsed or names an
+/// unknown family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheme {
+    name: String,
+}
+
+impl UnknownScheme {
+    /// The offending name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnknownScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown coding scheme {:?} (expected one of: {})",
+            self.name,
+            SCHEME_PATTERNS.join(", ")
+        )
+    }
+}
+
+impl Error for UnknownScheme {}
+
+/// The name grammar [`scheme_by_name`] accepts, one pattern per scheme
+/// family.
+pub const SCHEME_PATTERNS: &[&str] = &[
+    "identity",
+    "inversion(<chunks>ch l<lambda>)",
+    "stride(<strides>)",
+    "window(<entries>)",
+    "context-value(<table>+<shift> d<divide>)",
+    "context-transition(<table>+<shift> d<divide>)",
+    "workzone(<zones>)",
+    "fcm(<order> 2^<table_bits>)",
+];
+
+/// Splits `name` into a family and the text between its parentheses;
+/// a name without parentheses yields an empty argument string.
+fn family_and_args(name: &str) -> Option<(&str, &str)> {
+    match name.find('(') {
+        None => Some((name, "")),
+        Some(open) => {
+            let close = name.rfind(')')?;
+            if close != name.len() - 1 || close < open {
+                return None;
+            }
+            Some((&name[..open], &name[open + 1..close]))
+        }
+    }
+}
+
+/// Parses `"<table>+<shift> d<divide>"` (the context-scheme argument
+/// form).
+fn parse_context_args(args: &str) -> Option<(usize, usize, u64)> {
+    let (sizes, divide) = args.split_once(' ')?;
+    let (table, shift) = sizes.split_once('+')?;
+    Some((
+        table.parse().ok()?,
+        shift.parse().ok()?,
+        divide.strip_prefix('d')?.parse().ok()?,
+    ))
+}
+
+/// Parses `"<chunks>ch l<lambda>"` (the inversion-scheme argument form).
+fn parse_inversion_args(args: &str) -> Option<(u32, f64)> {
+    let (chunks, lambda) = args.split_once(' ')?;
+    let lambda: f64 = lambda.strip_prefix('l')?.parse().ok()?;
+    if !lambda.is_finite() || lambda < 0.0 {
+        return None;
+    }
+    Some((chunks.strip_suffix("ch")?.parse().ok()?, lambda))
+}
+
+/// Builds a fresh encoder/decoder pair for the scheme named by its
+/// canonical display name, at the given bus width.
+///
+/// Calling twice with the same arguments yields two independent pairs
+/// in their power-on state — the registry is a factory, not a cache.
+///
+/// # Errors
+///
+/// Returns [`UnknownScheme`] when the name does not match any
+/// [`SCHEME_PATTERNS`] entry or its parameters fail to parse.
+pub fn scheme_by_name(name: &str, width: Width) -> Result<Transcoder, UnknownScheme> {
+    let unknown = || UnknownScheme {
+        name: name.to_string(),
+    };
+    let (family, args) = family_and_args(name).ok_or_else(unknown)?;
+    let pair = match family {
+        "identity" if args.is_empty() => {
+            Transcoder::new(name, IdentityCodec::new(width), IdentityCodec::new(width))
+        }
+        "window" => {
+            let entries: usize = args.parse().map_err(|_| unknown())?;
+            let (e, d) = window_codec(WindowConfig::new(width, entries));
+            Transcoder::new(name, e, d)
+        }
+        "stride" => {
+            let strides: usize = args.parse().map_err(|_| unknown())?;
+            let (e, d) = stride_codec(StrideConfig::new(width, strides));
+            Transcoder::new(name, e, d)
+        }
+        "context-value" => {
+            let (table, shift, divide) = parse_context_args(args).ok_or_else(unknown)?;
+            let cfg = ContextConfig::new(width, table, shift).with_divide_period(divide);
+            let (e, d) = context_value_codec(cfg);
+            Transcoder::new(name, e, d)
+        }
+        "context-transition" => {
+            let (table, shift, divide) = parse_context_args(args).ok_or_else(unknown)?;
+            let cfg = ContextConfig::new(width, table, shift).with_divide_period(divide);
+            let (e, d) = context_transition_codec(cfg);
+            Transcoder::new(name, e, d)
+        }
+        "inversion" => {
+            let (chunks, lambda) = parse_inversion_args(args).ok_or_else(unknown)?;
+            let patterns = if chunks <= 1 {
+                PatternSet::bus_invert(width)
+            } else {
+                PatternSet::chunked(width, chunks)
+            };
+            Transcoder::new(
+                name,
+                InversionEncoder::new(patterns.clone(), CostModel::new(lambda)),
+                InversionDecoder::new(patterns),
+            )
+        }
+        "workzone" => {
+            let zones: usize = args.parse().map_err(|_| unknown())?;
+            Transcoder::new(
+                name,
+                WorkZoneEncoder::new(width, zones),
+                WorkZoneDecoder::new(width, zones),
+            )
+        }
+        "fcm" => {
+            let (order, bits) = args.split_once(' ').ok_or_else(unknown)?;
+            let order: usize = order.parse().map_err(|_| unknown())?;
+            let bits: u32 = bits
+                .strip_prefix("2^")
+                .and_then(|b| b.parse().ok())
+                .ok_or_else(unknown)?;
+            let (e, d) = fcm_codec(FcmConfig::new(width, order, bits));
+            Transcoder::new(name, e, d)
+        }
+        _ => return Err(unknown()),
+    };
+    Ok(pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::verify_roundtrip;
+    use bustrace::Trace;
+
+    fn mixed_trace(n: u64) -> Trace {
+        Trace::from_values(
+            Width::W32,
+            (0..n).map(|i| (i * 7) % 23 + (i % 3) * 0x1000),
+        )
+    }
+
+    #[test]
+    fn every_family_round_trips() {
+        let names = [
+            "identity",
+            "inversion(1ch l1)",
+            "inversion(2ch l0.5)",
+            "stride(8)",
+            "window(8)",
+            "context-value(28+8 d4096)",
+            "context-transition(28+8 d4096)",
+            "workzone(4)",
+            "fcm(2 2^12)",
+        ];
+        let trace = mixed_trace(400);
+        for name in names {
+            let mut pair = scheme_by_name(name, Width::W32)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(pair.name(), name);
+            let (enc, dec) = pair.split_mut();
+            verify_roundtrip(enc, dec, &trace).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn two_builds_are_independent_fresh_pairs() {
+        let trace = mixed_trace(100);
+        let mut a = scheme_by_name("window(8)", Width::W32).unwrap();
+        let mut b = scheme_by_name("window(8)", Width::W32).unwrap();
+        // Warping `a`'s state must not affect `b`.
+        for v in trace.iter() {
+            let _ = a.encode(v);
+        }
+        let states: Vec<u64> = trace.iter().map(|v| b.encode(v)).collect();
+        let mut fresh = scheme_by_name("window(8)", Width::W32).unwrap();
+        let fresh_states: Vec<u64> = trace.iter().map(|v| fresh.encode(v)).collect();
+        assert_eq!(states, fresh_states);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_patterns() {
+        for bad in [
+            "windoww(8)",
+            "window(8",
+            "window(x)",
+            "identity(3)",
+            "inversion(2ch)",
+            "inversion(2ch l-1)",
+            "fcm(2 12)",
+            "context-value(28 d4096)",
+            "",
+        ] {
+            let err = scheme_by_name(bad, Width::W32).expect_err(bad);
+            assert_eq!(err.name(), bad);
+            assert!(err.to_string().contains("window(<entries>)"), "{err}");
+        }
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let w16 = Width::new(16).unwrap();
+        let pair = scheme_by_name("stride(4)", w16).unwrap();
+        assert_eq!(pair.lines(), 18); // 16 data + 2 control
+        let id = scheme_by_name("identity", w16).unwrap();
+        assert_eq!(id.lines(), 16);
+    }
+}

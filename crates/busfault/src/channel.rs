@@ -224,6 +224,26 @@ impl FaultChannel {
         let (encoder, decoder) = pair.split_mut();
         self.run(encoder, decoder, fault, trace)
     }
+
+    /// [`FaultChannel::run`] over an adaptive controller: the fault
+    /// model corrupts the shared bus while the controller keeps
+    /// re-deciding schemes, so upsets can land in the same cycle as a
+    /// scheme switch. Returns the channel's damage report alongside
+    /// the controller's own tally (switches, flushes, absorbed
+    /// resyncs) for the same run — the run starts from power-on, so
+    /// the two reports cover exactly the same words.
+    pub fn run_adaptive<F>(
+        &self,
+        adaptive: &mut busadapt::AdaptiveTranscoder,
+        fault: &mut F,
+        trace: &Trace,
+    ) -> (FaultReport, busadapt::AdaptReport)
+    where
+        F: FaultModel + ?Sized,
+    {
+        let report = self.run_pair(adaptive.transcoder_mut(), fault, trace);
+        (report, adaptive.report())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! End-to-end determinism of `repro adaptive`: the emitted CSVs must be
+//! byte-identical between a serial and a parallel run, and between a
+//! cold and a warm (`REPRO_CACHE=1`) run — the property that makes the
+//! adaptive baselines in EXPERIMENTS.md re-checkable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const TABLES: [&str; 3] = ["adaptive-policy", "adaptive-sweep", "adaptive-residency"];
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adaptive-smoke-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs the `repro` binary and returns the adaptive CSVs it wrote.
+fn run_repro(out: &Path, args: &[&str], extra_env: &[(&str, &str)]) -> BTreeMap<String, String> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args)
+        .env("REPRO_VALUES", "3000")
+        .env("REPRO_SEED", "7")
+        .env("REPRO_OUT", out)
+        .env_remove("REPRO_CACHE")
+        .env_remove("REPRO_SERIAL")
+        .env_remove("REPRO_METRICS");
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let status = cmd.status().expect("repro binary runs");
+    assert!(status.success(), "repro {args:?} failed");
+    TABLES
+        .iter()
+        .map(|id| {
+            let path = out.join(format!("{id}.csv"));
+            let csv = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+            assert!(csv.lines().count() > 1, "{id}.csv has no data rows");
+            (id.to_string(), csv)
+        })
+        .collect()
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    // `table1` rides along so the parallel run actually fans out (the
+    // runner stays serial for a single experiment).
+    let serial_dir = out_dir("serial");
+    let parallel_dir = out_dir("parallel");
+    let serial = run_repro(
+        &serial_dir,
+        &["table1", "adaptive"],
+        &[("REPRO_SERIAL", "1")],
+    );
+    let parallel = run_repro(&parallel_dir, &["table1", "adaptive"], &[]);
+    assert_eq!(serial, parallel, "serial vs parallel CSVs diverged");
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&parallel_dir).ok();
+}
+
+#[test]
+fn warm_trace_cache_rerun_is_byte_identical() {
+    let dir = out_dir("cache");
+    let cold = run_repro(&dir, &["adaptive"], &[("REPRO_CACHE", "1")]);
+    let cache = dir.join("cache");
+    let entries = std::fs::read_dir(&cache)
+        .unwrap_or_else(|e| panic!("no trace cache at {}: {e}", cache.display()))
+        .count();
+    assert!(entries > 0, "cold run persisted no traces");
+    let warm = run_repro(&dir, &["adaptive"], &[("REPRO_CACHE", "1")]);
+    assert_eq!(cold, warm, "warm-cache rerun diverged from cold run");
+    std::fs::remove_dir_all(&dir).ok();
+}
