@@ -6,6 +6,7 @@
 //! repro all                    # run everything
 //! repro --metrics fig18        # also record instrumentation metrics
 //! repro metrics-check [file]   # validate a metrics.jsonl file
+//! repro bench [reps]           # time every experiment, write BENCH_repro.json
 //! ```
 //!
 //! Environment: `REPRO_VALUES` (trace length, default 200000),
@@ -104,6 +105,19 @@ fn main() -> ExitCode {
             println!("{:<22} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "bench" {
+        let reps = match args.get(1) {
+            None => 1,
+            Some(a) => match a.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("bench: reps must be a positive integer, got `{a}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        return run_bench(&experiments, reps);
     }
     if args[0] == "metrics-check" {
         let file = args
@@ -249,8 +263,118 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro bench [reps]`: wall-clock benchmark of the whole experiment
+/// registry. Each rep runs every experiment serially in registry order
+/// against a *fresh* session — every rep pays the same cold trace and
+/// activity stores, like a real `repro all`. Per experiment the minimum
+/// wall time across reps is kept (the least-noise estimate), alongside
+/// the values-encoded tally from the block evaluation engine's probe,
+/// giving values/second throughput. The report is rendered to
+/// `<out>/BENCH_repro.json` and re-parsed before being written, so a
+/// file that exists is guaranteed well-formed.
+fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
+    use busprobe::json::JsonValue;
+    // The values/sec figures come from the probe registry.
+    busprobe::set_enabled(true);
+    let cfg = Session::from_env();
+    eprintln!(
+        "bench: {} experiment(s) x {} rep(s), {} values/trace, seed {}",
+        experiments.len(),
+        reps,
+        cfg.values(),
+        cfg.seed()
+    );
+    let mut wall = vec![f64::INFINITY; experiments.len()];
+    let mut encoded = vec![0u64; experiments.len()];
+    let mut total_wall = f64::INFINITY;
+    let mut failed: Vec<&str> = Vec::new();
+    for rep in 0..reps {
+        let session = Session::from_env();
+        let rep_start = Instant::now();
+        for (i, e) in experiments.iter().enumerate() {
+            // Each experiment's tally must carry only its own counts.
+            busprobe::reset();
+            let (result, wall_s) = execute(e, &session);
+            if let Err(msg) = result {
+                eprintln!("[bench] {} FAILED: {msg}", e.id);
+                if !failed.contains(&e.id) {
+                    failed.push(e.id);
+                }
+                continue;
+            }
+            wall[i] = wall[i].min(wall_s);
+            encoded[i] =
+                encoded[i].max(busprobe::counter("buscoding.codec.values_encoded").value());
+            eprintln!("[bench {}/{}] {:<22} {:.2}s", rep + 1, reps, e.id, wall_s);
+        }
+        total_wall = total_wall.min(rep_start.elapsed().as_secs_f64());
+    }
+    if !failed.is_empty() {
+        eprintln!("bench aborted: {} experiment(s) failed", failed.len());
+        return ExitCode::FAILURE;
+    }
+
+    let per_experiment: Vec<JsonValue> = experiments
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let vps = if wall[i] > 0.0 {
+                encoded[i] as f64 / wall[i]
+            } else {
+                0.0
+            };
+            JsonValue::Obj(vec![
+                ("id".into(), JsonValue::Str(e.id.into())),
+                ("wall_s".into(), JsonValue::Num(wall[i])),
+                ("values_encoded".into(), JsonValue::Int(encoded[i] as i64)),
+                ("values_per_sec".into(), JsonValue::Num(vps)),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str("bench-repro/1".into())),
+        ("reps".into(), JsonValue::Int(reps as i64)),
+        ("values".into(), JsonValue::Int(cfg.values() as i64)),
+        ("seed".into(), JsonValue::Int(cfg.seed() as i64)),
+        ("total_wall_s".into(), JsonValue::Num(total_wall)),
+        ("experiments".into(), JsonValue::Arr(per_experiment)),
+    ]);
+    let rendered = format!("{doc}\n");
+    // Self-validate before writing: the emitted report must round-trip
+    // through the strict parser with a non-empty experiment list.
+    match busprobe::json::parse(rendered.trim_end()) {
+        Ok(parsed) => match parsed.get("experiments") {
+            Some(JsonValue::Arr(items)) if !items.is_empty() => {}
+            _ => {
+                eprintln!("bench: emitted report has no experiments");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("bench: emitted report does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let path = cfg.out_dir().join("BENCH_repro.json");
+    if let Err(e) =
+        std::fs::create_dir_all(cfg.out_dir()).and_then(|()| std::fs::write(&path, &rendered))
+    {
+        eprintln!("bench: could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[bench] total {:.1}s (min over {} rep(s)); wrote {}",
+        total_wall,
+        reps,
+        path.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn print_usage(experiments: &[Experiment]) {
-    println!("usage: repro [--metrics] <experiment>... | all | list | metrics-check [file]");
+    println!(
+        "usage: repro [--metrics] <experiment>... | all | list | metrics-check [file] | bench [reps]"
+    );
     println!("env: REPRO_VALUES, REPRO_SEED, REPRO_OUT, REPRO_METRICS, REPRO_CACHE, REPRO_SERIAL");
     println!("experiments:");
     for e in experiments {

@@ -1,13 +1,14 @@
 //! Ablation studies of the design choices DESIGN.md calls out.
 
-use buscoding::predict::{context_value_codec, window_codec, ContextConfig, WindowConfig};
-use buscoding::{evaluate, Encoder};
+use buscoding::predict::{context_value_codec, ContextConfig};
+use buscoding::Encoder;
 use hwmodel::{CircuitModel, ContextHardware, ContextHwConfig, WindowHardware};
 use simcpu::{Benchmark, BusKind};
 use wiremodel::Technology;
 
 use crate::experiments::par_map;
 use crate::report::{f, Table};
+use crate::schemes::Scheme;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -44,9 +45,18 @@ pub fn sort(session: &Session) -> Vec<Table> {
         let w = Workload::Bench(b, BusKind::Register);
         let trace = session.trace_capped(w, CAP);
         let cfg = ContextConfig::new(trace.width(), 28, 8);
-        // Ideal: behavioral codec.
-        let (mut enc, _) = context_value_codec(cfg);
-        let coded = evaluate(&mut enc, &trace);
+        // Ideal: behavioral codec — `cfg` is exactly the registry's
+        // context-value(28+8 d4096), so the session store supplies it.
+        let coded = session.activity_capped(
+            &Scheme::ContextValue {
+                table: 28,
+                shift: 8,
+                divide: 4096,
+            }
+            .name(),
+            w,
+            CAP,
+        );
         let baseline = session.baseline_capped(w, CAP);
         let ideal_removed = buscoding::percent_energy_removed(&coded, &baseline, 1.0);
         // Ideal hit rate: count engine hits by re-running with outcome taps.
@@ -186,12 +196,10 @@ pub fn last_value(session: &Session) -> Vec<Table> {
     );
     let rows = par_map(ablation_benchmarks(), move |b| {
         let w = Workload::Bench(b, BusKind::Register);
-        let trace = session.trace_capped(w, CAP);
         let baseline = session.baseline_capped(w, CAP);
         let mut removed = Vec::new();
         for entries in [1usize, 8] {
-            let (mut enc, _) = window_codec(WindowConfig::new(trace.width(), entries));
-            let coded = evaluate(&mut enc, &trace);
+            let coded = session.activity_capped(&Scheme::Window { entries }.name(), w, CAP);
             removed.push(buscoding::percent_energy_removed(&coded, &baseline, 1.0));
         }
         (format!("{b}/register"), removed[0], removed[1])

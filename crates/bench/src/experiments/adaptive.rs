@@ -23,7 +23,7 @@ use busadapt::{
     oracle_schedule, AdaptReport, AdaptiveConfig, AdaptiveTranscoder, BandedHysteresisPolicy,
     GreedyShadowPolicy, OraclePolicy, Policy,
 };
-use buscoding::{evaluate, scheme_by_name, Activity};
+use buscoding::{evaluate_blocks, Activity};
 use bustrace::Trace;
 use hwmodel::crossover::CodingOutcome;
 use hwmodel::CircuitModel;
@@ -73,7 +73,7 @@ fn run_controller(
     let cfg = AdaptiveConfig::new(trace.width(), CANDIDATES, period).with_initial(initial);
     let mut adaptive =
         AdaptiveTranscoder::new(cfg, policy).expect("candidate pool uses registry names");
-    let coded = evaluate(adaptive.transcoder_mut().encoder_mut(), trace);
+    let coded = evaluate_blocks(adaptive.transcoder_mut().encoder_mut(), trace);
     (coded, adaptive.report())
 }
 
@@ -161,13 +161,11 @@ fn policy_table(session: &Session) -> Table {
         let mut rows = Vec::new();
 
         // Best static scheme, untaxed: no controller, no flushes — the
-        // strongest baseline the adaptive policies must beat.
+        // strongest baseline the adaptive policies must beat. The pool
+        // names are registry names, so the session store carries them.
         let static_runs: Vec<(&str, Activity)> = CANDIDATES
             .iter()
-            .map(|&s| {
-                let mut pair = scheme_by_name(s, trace.width()).expect("registry name");
-                (s, evaluate(pair.encoder_mut(), &trace))
-            })
+            .map(|&s| (s, session.activity_capped(s, w, CAP)))
             .collect();
         let (best_name, best_coded) = static_runs
             .into_iter()
@@ -208,11 +206,14 @@ fn policy_table(session: &Session) -> Table {
         }
 
         let candidates: Vec<String> = CANDIDATES.iter().map(|s| s.to_string()).collect();
-        let schedule =
-            oracle_schedule(&trace, &candidates, PERIOD, 1.0).expect("registry names");
+        let schedule = oracle_schedule(&trace, &candidates, PERIOD, 1.0).expect("registry names");
         let initial = schedule.first().copied().unwrap_or(0);
-        let (coded, report) =
-            run_controller(&trace, PERIOD, Box::new(OraclePolicy::new(schedule)), initial);
+        let (coded, report) = run_controller(
+            &trace,
+            PERIOD,
+            Box::new(OraclePolicy::new(schedule)),
+            initial,
+        );
         let outcome = taxed_outcome(baseline, coded, values, &report, tech);
         rows.push(policy_row(
             &name,
@@ -260,12 +261,8 @@ fn sweep_table(session: &Session) -> Table {
         }
     }
     let rows = par_map(grid, |(period, band)| {
-        let (coded, report) = run_controller(
-            &trace,
-            period,
-            Box::new(GreedyShadowPolicy::new(band)),
-            0,
-        );
+        let (coded, report) =
+            run_controller(&trace, period, Box::new(GreedyShadowPolicy::new(band)), 0);
         let outcome = taxed_outcome(baseline, coded, values, &report, tech);
         vec![
             period.to_string(),

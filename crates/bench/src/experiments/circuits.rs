@@ -92,7 +92,6 @@ pub fn fig26(session: &Session) -> Vec<Table> {
     let tech = Technology::tech_013();
 
     let workloads = Workload::all_benchmarks(BusKind::Register);
-    let traces = par_map(workloads.clone(), |w| session.trace_capped(w, CAP));
     let baselines: Vec<_> = workloads
         .iter()
         .map(|w| session.baseline_capped(*w, CAP))
@@ -103,20 +102,22 @@ pub fn fig26(session: &Session) -> Vec<Table> {
         .flat_map(|&n| [("window", n), ("context", n)])
         .collect();
     let results = par_map(jobs, |(design, entries)| {
-        let acts: Vec<_> = traces
+        let acts: Vec<_> = workloads
             .iter()
-            .map(|tr| match design {
-                "window" => Scheme::Window { entries }.activity(tr),
-                _ => {
-                    let cfg = ContextHwConfig::paper_layout();
-                    let table = entries.saturating_sub(cfg.shift).max(1);
-                    Scheme::ContextValue {
-                        table,
-                        shift: cfg.shift,
-                        divide: 4096,
+            .map(|&w| {
+                let scheme = match design {
+                    "window" => Scheme::Window { entries },
+                    _ => {
+                        let cfg = ContextHwConfig::paper_layout();
+                        let table = entries.saturating_sub(cfg.shift).max(1);
+                        Scheme::ContextValue {
+                            table,
+                            shift: cfg.shift,
+                            divide: 4096,
+                        }
                     }
-                    .activity(tr)
-                }
+                };
+                session.activity_capped(&scheme.name(), w, CAP)
             })
             .collect();
         (design, entries, acts)

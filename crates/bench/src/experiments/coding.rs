@@ -28,15 +28,15 @@ fn percent_sweep(
 ) -> Table {
     let mut t = Table::new(id, title, &["workload", "x", "scheme", "percent_removed"]);
     let results = par_map(workloads, |w| {
-        let trace = session.trace(w);
         let baseline = session.baseline(w);
         let rows: Vec<(String, String, f64)> = configs
             .iter()
             .map(|(x, scheme)| {
-                let coded = scheme.activity(&trace);
+                let name = scheme.name();
+                let coded = session.activity(&name, w);
                 (
                     x.clone(),
-                    scheme.name(),
+                    name,
                     percent_energy_removed(&coded, &baseline, LAMBDA),
                 )
             })
@@ -89,28 +89,25 @@ pub fn fig15(session: &Session) -> Vec<Table> {
 
     const CAP: usize = 100_000;
     let results = par_map(std::mem::take(&mut groups), |(group, members)| {
-        let traces: Vec<_> = members
-            .iter()
-            .map(|w| session.trace_capped(*w, CAP))
-            .collect();
         let baselines: Vec<_> = members
             .iter()
             .map(|w| session.baseline_capped(*w, CAP))
             .collect();
+        // All coded activities go through the session store; the λN
+        // design at actual λ = 1 shares its entry with the fixed λ1
+        // design (identical scheme name).
+        let inversion = |w: Workload, design: f64| {
+            let scheme = Scheme::Inversion {
+                chunks: 6,
+                design_lambda: design,
+            };
+            session.activity_capped(&scheme.name(), w, CAP)
+        };
         // λ0 and λ1 designs are independent of the actual λ.
         let fixed: Vec<(String, Vec<buscoding::Activity>)> = [("l0", 0.0), ("l1", 1.0)]
             .iter()
             .map(|&(name, design)| {
-                let acts = traces
-                    .iter()
-                    .map(|tr| {
-                        Scheme::Inversion {
-                            chunks: 6,
-                            design_lambda: design,
-                        }
-                        .activity(tr)
-                    })
-                    .collect();
+                let acts = members.iter().map(|&w| inversion(w, design)).collect();
                 (name.to_string(), acts)
             })
             .collect();
@@ -126,19 +123,15 @@ pub fn fig15(session: &Session) -> Vec<Table> {
                 rows.push((design.clone(), actual, 100.0 * avg));
             }
             // λN: redesigned per actual λ.
-            let avg: f64 = traces
+            let avg: f64 = members
                 .iter()
                 .zip(&baselines)
-                .map(|(tr, b)| {
-                    let a = Scheme::Inversion {
-                        chunks: 6,
-                        design_lambda: actual,
-                    }
-                    .activity(tr);
+                .map(|(&w, b)| {
+                    let a = inversion(w, actual);
                     normalized_energy_remaining(&a, b, actual)
                 })
                 .sum::<f64>()
-                / traces.len() as f64;
+                / members.len() as f64;
             rows.push(("lN".into(), actual, 100.0 * avg));
         }
         (group, rows)

@@ -4,44 +4,75 @@
 
 use buscoding::Activity;
 use hwmodel::crossover::{median, CodingOutcome};
+use hwmodel::OpCounts;
 use simcpu::{Benchmark, BusKind};
 use wiremodel::{Technology, WireStyle};
 
 use crate::experiments::par_map;
 use crate::report::{f, opt_mm, Table};
-use crate::schemes::{window_outcome_with_baseline, Scheme};
+use crate::schemes::{window_hw_ops, window_outcome_from_parts, Scheme};
 use crate::workloads::Workload;
 use crate::Session;
 
 const LENGTHS: [f64; 8] = [1.0, 3.0, 5.0, 8.0, 11.5, 15.0, 20.0, 30.0];
 
-/// One benchmark's Window-design outcome at a given entry count and
-/// technology. The trace and its baseline come from the session, so the
-/// tech × entries grid of Figures 37–38 and Table 3 walks each
-/// benchmark trace once for the baseline no matter how many grid points
-/// reuse it.
-fn outcomes(
+/// The technology-independent measurements of one benchmark under the
+/// Window design: memoized baseline and coded activities (session
+/// stores) plus the hardware op tally. A tech × entries grid computes
+/// these once per (benchmark, entries) and prices them per technology.
+struct WindowParts {
+    bench: Benchmark,
+    baseline: Activity,
+    coded: Activity,
+    ops: OpCounts,
+    values: u64,
+}
+
+/// Gathers [`WindowParts`] for every benchmark on a bus at one entry
+/// count. Traces, baselines and coded activities come from the session
+/// caches, so the grids of Figures 37–38 and Table 3 walk each
+/// benchmark trace once no matter how many grid points reuse it.
+fn window_parts(
     session: &Session,
     bus: BusKind,
     entries: usize,
-    tech: Technology,
     benches: &[Benchmark],
-) -> Vec<(Benchmark, CodingOutcome)> {
+) -> Vec<WindowParts> {
     par_map(benches.to_vec(), move |b| {
         let w = Workload::Bench(b, bus);
         let trace = session.trace(w);
-        let baseline = session.baseline(w);
-        (
-            b,
-            window_outcome_with_baseline(&trace, baseline, entries, tech),
-        )
+        WindowParts {
+            bench: b,
+            baseline: session.baseline(w),
+            coded: session.activity(&Scheme::Window { entries }.name(), w),
+            ops: window_hw_ops(&trace, entries),
+            values: trace.len() as u64,
+        }
     })
+}
+
+/// Prices the parts for one technology.
+fn outcomes_from_parts(
+    parts: &[WindowParts],
+    entries: usize,
+    tech: Technology,
+) -> Vec<(Benchmark, CodingOutcome)> {
+    parts
+        .iter()
+        .map(|p| {
+            (
+                p.bench,
+                window_outcome_from_parts(p.baseline, p.coded, p.values, &p.ops, entries, tech),
+            )
+        })
+        .collect()
 }
 
 fn total_energy_figure(id: &str, title: &str, session: &Session, bus: BusKind) -> Table {
     let mut t = Table::new(id, title, &["workload", "length_mm", "normalized_energy"]);
     let tech = Technology::tech_013();
-    for (b, outcome) in outcomes(session, bus, 8, tech, &Benchmark::ALL) {
+    let parts = window_parts(session, bus, 8, &Benchmark::ALL);
+    for (b, outcome) in outcomes_from_parts(&parts, 8, tech) {
         let curve = outcome
             .normalized_curve(tech, WireStyle::Repeated, &LENGTHS)
             .expect("valid lengths");
@@ -87,9 +118,22 @@ fn trend_figure(id: &str, title: &str, session: &Session, bus: BusKind) -> Table
             "median_normalized_energy",
         ],
     );
+    // The per-benchmark activities and hardware walks are
+    // technology-independent: gather them once per entry count, then
+    // price every technology off the same parts.
+    let parts: Vec<(usize, Vec<WindowParts>)> = [8usize, 16]
+        .iter()
+        .map(|&entries| {
+            (
+                entries,
+                window_parts(session, bus, entries, &Benchmark::ALL),
+            )
+        })
+        .collect();
     for tech in Technology::all() {
-        for &entries in &[8usize, 16] {
-            let all = outcomes(session, bus, entries, tech, &Benchmark::ALL);
+        for (entries, parts) in &parts {
+            let entries = *entries;
+            let all = outcomes_from_parts(parts, entries, tech);
             for (suite, filter) in [("int", false), ("fp", true)]
                 .map(|(s, fp)| (s, move |b: &Benchmark| b.is_fp() == fp))
             {
@@ -144,9 +188,19 @@ pub fn table3(session: &Session) -> Vec<Table> {
         "Median crossover lengths, register bus (paper: 11.5mm @0.13um/8e ... 2.7mm @0.07um/16e)",
         &["technology", "entries", "specint_mm", "specfp_mm", "all_mm"],
     );
+    let parts: Vec<(usize, Vec<WindowParts>)> = [8usize, 16]
+        .iter()
+        .map(|&entries| {
+            (
+                entries,
+                window_parts(session, BusKind::Register, entries, &Benchmark::ALL),
+            )
+        })
+        .collect();
     for tech in Technology::all() {
-        for &entries in &[8usize, 16] {
-            let all = outcomes(session, BusKind::Register, entries, tech, &Benchmark::ALL);
+        for (entries, parts) in &parts {
+            let entries = *entries;
+            let all = outcomes_from_parts(parts, entries, tech);
             let xover = |filter: &dyn Fn(&Benchmark) -> bool| -> Option<f64> {
                 let xs: Vec<f64> = all
                     .iter()
@@ -186,12 +240,11 @@ pub fn headline(session: &Session) -> Vec<Table> {
     ];
     let per_bench: Vec<Vec<f64>> = par_map(Benchmark::ALL.to_vec(), move |b| {
         let w = Workload::Bench(b, BusKind::Register);
-        let trace = session.trace(w);
         let baseline = session.baseline(w);
         schemes
             .iter()
             .map(|s| {
-                let coded = s.activity(&trace);
+                let coded = session.activity(&s.name(), w);
                 buscoding::percent_energy_removed(&coded, &baseline, 1.0)
             })
             .collect()

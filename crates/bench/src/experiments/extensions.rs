@@ -1,12 +1,10 @@
 //! Extension experiments beyond the paper's evaluation: the Section 6
 //! future-work items and additional design-space probes.
 
-use buscoding::predict::{
-    window_codec, MissPolicy, PredictiveEncoder, WindowConfig, WindowPredictor,
-};
+use buscoding::predict::{MissPolicy, PredictiveEncoder, WindowPredictor};
 use buscoding::spatial::spatial_activity;
 use buscoding::varlen::huffman_study;
-use buscoding::{evaluate, percent_energy_removed, CostModel};
+use buscoding::{evaluate_blocks, percent_energy_removed, CostModel};
 use bustrace::generators::{TraceGenerator, WorkingSetGen};
 use bustrace::Width;
 use simcpu::{Benchmark, BusKind};
@@ -50,7 +48,7 @@ pub fn varlen(session: &Session) -> Vec<Table> {
             let study = huffman_study(&trace, 256, 8);
             let baseline = session.baseline_capped(w, CAP);
             let tau_ratio = study.serialized.tau() as f64 / baseline.tau() as f64;
-            let coded = Scheme::Window { entries: 8 }.activity(&trace);
+            let coded = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
             let window = percent_energy_removed(&coded, &baseline, 1.0);
             (
                 format!("{b}/register"),
@@ -117,8 +115,7 @@ pub fn spatial_bound(session: &Session) -> Vec<Table> {
             let n = trace.len() as f64;
             let baseline = session.baseline_capped(w, CAP);
             let spatial = spatial_activity(&trace);
-            let (mut enc, _) = window_codec(WindowConfig::new(trace.width(), 8));
-            let window = evaluate(&mut enc, &trace);
+            let window = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
             (
                 format!("{b}/register"),
                 baseline.tau() as f64 / n,
@@ -174,11 +171,13 @@ pub fn address_bus(session: &Session) -> Vec<Table> {
         ],
         move |b| {
             let w = Workload::Bench(b, BusKind::Address);
-            let trace = session.trace_capped(w, CAP);
             let baseline = session.baseline_capped(w, CAP);
             let removed: Vec<f64> = schemes
                 .iter()
-                .map(|s| percent_energy_removed(&s.activity(&trace), &baseline, 1.0))
+                .map(|s| {
+                    let coded = session.activity_capped(&s.name(), w, CAP);
+                    percent_energy_removed(&coded, &baseline, 1.0)
+                })
                 .collect();
             (format!("{b}/address"), removed)
         },
@@ -210,13 +209,17 @@ pub fn miss_policy(session: &Session) -> Vec<Table> {
             let w = Workload::Bench(b, BusKind::Register);
             let trace = session.trace_capped(w, CAP);
             let baseline = session.baseline_capped(w, CAP);
+            // The raw-or-inverted default *is* window(8): share the
+            // session store. RawOnly isn't a registry scheme, so it
+            // runs the block engine directly.
+            let both = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
             let cost = CostModel::default();
-            let mut both: PredictiveEncoder<WindowPredictor> =
-                PredictiveEncoder::new(trace.width(), WindowPredictor::new(8), cost);
-            let mut raw_only = PredictiveEncoder::new(trace.width(), WindowPredictor::new(8), cost)
-                .with_miss_policy(MissPolicy::RawOnly);
-            let a = percent_energy_removed(&evaluate(&mut both, &trace), &baseline, 1.0);
-            let b_pct = percent_energy_removed(&evaluate(&mut raw_only, &trace), &baseline, 1.0);
+            let mut raw_only: PredictiveEncoder<WindowPredictor> =
+                PredictiveEncoder::new(trace.width(), WindowPredictor::new(8), cost)
+                    .with_miss_policy(MissPolicy::RawOnly);
+            let a = percent_energy_removed(&both, &baseline, 1.0);
+            let b_pct =
+                percent_energy_removed(&evaluate_blocks(&mut raw_only, &trace), &baseline, 1.0);
             (format!("{b}/register"), a, b_pct)
         },
     );
@@ -285,11 +288,13 @@ pub fn predictors(session: &Session) -> Vec<Table> {
     ];
     let rows = par_map(Benchmark::ALL.to_vec(), move |b| {
         let w = Workload::Bench(b, BusKind::Register);
-        let trace = session.trace_capped(w, CAP);
         let baseline = session.baseline_capped(w, CAP);
         let removed: Vec<f64> = schemes
             .iter()
-            .map(|s| percent_energy_removed(&s.activity(&trace), &baseline, 1.0))
+            .map(|s| {
+                let coded = session.activity_capped(&s.name(), w, CAP);
+                percent_energy_removed(&coded, &baseline, 1.0)
+            })
             .collect();
         (format!("{b}/register"), removed)
     });
@@ -385,7 +390,7 @@ pub fn timing_model(session: &Session) -> Vec<Table> {
 /// trial and measures whether (and how fast) the decoder *notices*,
 /// and how much silently corrupted data escapes meanwhile.
 pub fn desync(session: &Session) -> Vec<Table> {
-    use buscoding::predict::{context_value_codec, ContextConfig};
+    use buscoding::predict::{context_value_codec, window_codec, ContextConfig, WindowConfig};
     use buscoding::workzone::{WorkZoneDecoder, WorkZoneEncoder};
     use buscoding::{Decoder, Transcoder};
 

@@ -1,7 +1,7 @@
 //! Scheme construction and evaluation: behavioral bus activity plus
 //! circuit-level transcoder energy.
 
-use buscoding::{evaluate, scheme_by_name, Activity, IdentityCodec, Transcoder};
+use buscoding::{evaluate_blocks, scheme_by_name, Activity, IdentityCodec, Transcoder};
 use bustrace::{Trace, Width};
 use hwmodel::crossover::CodingOutcome;
 use hwmodel::{CircuitModel, ContextHardware, ContextHwConfig, OpCounts, WindowHardware};
@@ -9,7 +9,7 @@ use wiremodel::Technology;
 
 /// Activity of the un-encoded bus over a trace.
 pub fn baseline_activity(trace: &Trace) -> Activity {
-    evaluate(&mut IdentityCodec::new(trace.width()), trace)
+    evaluate_blocks(&mut IdentityCodec::new(trace.width()), trace)
 }
 
 /// A coding scheme under evaluation (paper Section 4.3).
@@ -114,10 +114,12 @@ impl Scheme {
     }
 
     /// Behavioral bus activity of this scheme over a trace, with the
-    /// paper's default λ = 1 codebook ordering.
+    /// paper's default λ = 1 codebook ordering. Runs the block-batched
+    /// engine; repeated evaluations inside a `repro` run should prefer
+    /// the memoized [`crate::Session::activity`] store.
     pub fn activity(&self, trace: &Trace) -> Activity {
         let mut pair = self.transcoder(trace.width());
-        evaluate(pair.encoder_mut(), trace)
+        evaluate_blocks(pair.encoder_mut(), trace)
     }
 
     /// Percent of λ-weighted energy removed relative to the un-encoded
@@ -129,17 +131,31 @@ impl Scheme {
     }
 }
 
-/// Runs the Window hardware model over a trace and prices it: total
-/// transcoder energy (both ends, dynamic + leakage) per bus value, in
-/// picojoules.
-pub fn window_transcoder_pj_per_value(trace: &Trace, entries: usize, tech: Technology) -> f64 {
+/// Runs the Window hardware model over a trace and returns its op
+/// tally. The walk is technology-independent: sweeps over technologies
+/// compute this once and price it per technology.
+pub fn window_hw_ops(trace: &Trace, entries: usize) -> OpCounts {
     let mut hw = WindowHardware::new(entries);
     for v in trace.iter() {
         hw.present(v);
     }
-    price_both_ends(
-        &CircuitModel::window(tech, entries),
-        hw.ops(),
+    *hw.ops()
+}
+
+/// Prices a Window op tally for one technology: total transcoder energy
+/// (both ends, dynamic + leakage) per bus value, in picojoules.
+pub fn price_window_ops(ops: &OpCounts, entries: usize, tech: Technology, values: u64) -> f64 {
+    price_both_ends(&CircuitModel::window(tech, entries), ops, values)
+}
+
+/// Runs the Window hardware model over a trace and prices it: total
+/// transcoder energy (both ends, dynamic + leakage) per bus value, in
+/// picojoules.
+pub fn window_transcoder_pj_per_value(trace: &Trace, entries: usize, tech: Technology) -> f64 {
+    price_window_ops(
+        &window_hw_ops(trace, entries),
+        entries,
+        tech,
         trace.len() as u64,
     )
 }
@@ -172,7 +188,12 @@ pub fn inverter_transcoder_pj_per_value(tech: Technology) -> f64 {
 }
 
 fn price_both_ends(circuit: &CircuitModel, ops: &OpCounts, values: u64) -> f64 {
-    debug_assert!(values > 0);
+    // A zero-length trace performs no transcoder work; returning 0.0
+    // (instead of dividing — a release-mode NaN/inf behind the old
+    // debug_assert) keeps callers total-able.
+    if values == 0 {
+        return 0.0;
+    }
     2.0 * circuit.total_energy_pj(ops) / values as f64
 }
 
@@ -193,8 +214,24 @@ pub fn window_outcome_with_baseline(
     tech: Technology,
 ) -> CodingOutcome {
     let coded = Scheme::Window { entries }.activity(trace);
-    let transcoder = window_transcoder_pj_per_value(trace, entries, tech);
-    CodingOutcome::new(baseline, coded, trace.len() as u64, transcoder)
+    let ops = window_hw_ops(trace, entries);
+    window_outcome_from_parts(baseline, coded, trace.len() as u64, &ops, entries, tech)
+}
+
+/// [`window_outcome`] from fully precomputed parts: a memoized coded
+/// activity (the session store) and a hoisted technology-independent op
+/// tally ([`window_hw_ops`]). Technology grids pay only the pricing
+/// arithmetic per point.
+pub fn window_outcome_from_parts(
+    baseline: Activity,
+    coded: Activity,
+    values: u64,
+    ops: &OpCounts,
+    entries: usize,
+    tech: Technology,
+) -> CodingOutcome {
+    let transcoder = price_window_ops(ops, entries, tech, values);
+    CodingOutcome::new(baseline, coded, values, transcoder)
 }
 
 /// Full measurement of the Context design on a trace.
@@ -279,6 +316,21 @@ mod tests {
             ctx > pj,
             "context hardware must cost more than window: {ctx} vs {pj}"
         );
+    }
+
+    #[test]
+    fn empty_trace_prices_to_zero() {
+        // Regression: a zero-length trace must price to 0.0, not divide
+        // by zero (NaN/inf in release builds).
+        let empty = Trace::from_values(Width::W32, std::iter::empty::<u64>());
+        let pj = window_transcoder_pj_per_value(&empty, 8, Technology::tech_013());
+        assert_eq!(pj, 0.0);
+        let ctx = context_transcoder_pj_per_value(
+            &empty,
+            ContextHwConfig::paper_layout(),
+            Technology::tech_013(),
+        );
+        assert_eq!(ctx, 0.0);
     }
 
     #[test]

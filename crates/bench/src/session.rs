@@ -177,6 +177,10 @@ static DISK_REJECTS: busprobe::StaticCounter =
     busprobe::StaticCounter::new("bench.session.disk_rejects");
 static BASELINE_MISSES: busprobe::StaticCounter =
     busprobe::StaticCounter::new("bench.session.baseline_misses");
+static ACTIVITY_HITS: busprobe::StaticCounter =
+    busprobe::StaticCounter::new("bench.session.activity_hits");
+static ACTIVITY_MISSES: busprobe::StaticCounter =
+    busprobe::StaticCounter::new("bench.session.activity_misses");
 
 /// The content-addressed trace cache a [`Session`] owns.
 ///
@@ -281,6 +285,7 @@ pub struct Session {
     out_dir: PathBuf,
     store: TraceStore,
     baselines: CellMap<TraceKey, Activity>,
+    activities: CellMap<(String, TraceKey), Activity>,
 }
 
 impl Session {
@@ -364,6 +369,54 @@ impl Session {
         });
         *cell.get().expect("cell initialized by get_or_init")
     }
+
+    /// The memoized coded activity of `scheme` (a canonical registry
+    /// name, e.g. `window(8)`) over `workload` at the session's full
+    /// length. See [`activity_with_len`](Self::activity_with_len).
+    pub fn activity(&self, scheme: &str, workload: Workload) -> Activity {
+        self.activity_with_len(scheme, workload, self.values)
+    }
+
+    /// The memoized coded activity at `min(values, cap)`.
+    pub fn activity_capped(&self, scheme: &str, workload: Workload, cap: usize) -> Activity {
+        self.activity_with_len(scheme, workload, self.values.min(cap))
+    }
+
+    /// The memoized coded activity of `scheme` over `workload` at an
+    /// explicit length — the session-level coded-activity store. The
+    /// key is `(scheme-name, workload, values, seed)`: everything that
+    /// determines the counts and nothing else, so every experiment that
+    /// sweeps the same (scheme, trace) pair shares one evaluation. A
+    /// miss builds the scheme through [`buscoding::scheme_by_name`] and
+    /// runs the block-batched [`buscoding::evaluate_blocks`] engine.
+    ///
+    /// Observable via `bench.session.activity_hits` /
+    /// `bench.session.activity_misses`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheme` is not a canonical registry name.
+    pub fn activity_with_len(&self, scheme: &str, workload: Workload, values: usize) -> Activity {
+        let trace_key = TraceKey::new(workload, values, self.seed);
+        let key = (scheme.to_string(), trace_key);
+        let (cell, missed) = self.activities.get_or_init(&key, || {
+            let trace = self.store.get(&trace_key);
+            let mut pair = buscoding::scheme_by_name(scheme, trace.width())
+                .unwrap_or_else(|e| panic!("activity store: {e}"));
+            buscoding::evaluate_blocks(pair.encoder_mut(), &trace)
+        });
+        if missed {
+            ACTIVITY_MISSES.inc();
+        } else {
+            ACTIVITY_HITS.inc();
+        }
+        *cell.get().expect("cell initialized by get_or_init")
+    }
+
+    /// Distinct coded activities resident in the activity store.
+    pub fn activity_store_len(&self) -> usize {
+        self.activities.len()
+    }
 }
 
 impl std::fmt::Debug for Session {
@@ -441,6 +494,7 @@ impl SessionBuilder {
             out_dir: self.out_dir,
             store,
             baselines: CellMap::new(),
+            activities: CellMap::new(),
         }
     }
 }
@@ -500,6 +554,29 @@ mod tests {
         let w = Workload::Bench(Benchmark::Li, BusKind::Register);
         let capped = s.trace_capped(w, 1_000);
         assert_eq!(*capped, w.trace(1_000, 2));
+    }
+
+    #[test]
+    fn activity_store_matches_direct_evaluation_and_memoizes() {
+        let s = Session::builder().values(3_000).seed(4).build();
+        let w = Workload::Bench(Benchmark::Gcc, BusKind::Register);
+        let trace = s.trace(w);
+        let mut pair = buscoding::scheme_by_name("window(8)", trace.width()).unwrap();
+        let direct = buscoding::evaluate(pair.encoder_mut(), &trace);
+        assert_eq!(s.activity("window(8)", w), direct);
+        assert_eq!(s.activity("window(8)", w), direct);
+        assert_eq!(s.activity_store_len(), 1);
+        // A different scheme, length or workload is its own entry.
+        let _ = s.activity_capped("window(8)", w, 1_000);
+        let _ = s.activity("identity", w);
+        assert_eq!(s.activity_store_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown coding scheme")]
+    fn activity_store_rejects_non_registry_names() {
+        let s = Session::builder().values(100).build();
+        let _ = s.activity("windoww(8)", Workload::Random);
     }
 
     #[test]

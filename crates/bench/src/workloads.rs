@@ -1,9 +1,7 @@
 //! Workload acquisition: benchmark bus traces and the controlled
 //! synthetic traffic classes the paper contrasts them with.
 
-use bustrace::generators::{
-    PhasedGen, StrideGen, TraceGenerator, UniformRandomGen, WorkingSetGen,
-};
+use bustrace::generators::{PhasedGen, StrideGen, TraceGenerator, UniformRandomGen, WorkingSetGen};
 use bustrace::{Trace, Width};
 use simcpu::{Benchmark, BusKind};
 
@@ -121,8 +119,9 @@ mod tests {
         assert_eq!(t.len(), 4096);
         // Second phase (words 1024..2048) is a pure strided ramp.
         let v = t.values();
-        assert!((1025..2048)
-            .all(|i| v[i] == v[i - 1].wrapping_add(PHASED_STRIDE) & Width::W32.mask()));
+        assert!(
+            (1025..2048).all(|i| v[i] == v[i - 1].wrapping_add(PHASED_STRIDE) & Width::W32.mask())
+        );
         // First phase revisits a small working set.
         let unique: std::collections::HashSet<_> = v[..1024].iter().collect();
         assert!(unique.len() <= 6, "{} unique loop values", unique.len());

@@ -109,7 +109,10 @@ impl AdaptiveConfig {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn with_initial(mut self, index: usize) -> Self {
-        assert!(index < self.candidates.len(), "initial candidate out of range");
+        assert!(
+            index < self.candidates.len(),
+            "initial candidate out of range"
+        );
         self.initial = index;
         self
     }
@@ -230,7 +233,12 @@ struct Core {
     transitions: StreamingTransitions,
     uniqueness: StreamingWindowUniqueness,
     strides: StreamingStrideHits,
-    window_activity: Vec<Activity>,
+    /// Words of the in-flight window, buffered so the shadow encoders
+    /// can score the whole window in one [`Encoder::encode_block`] call
+    /// at the boundary instead of one virtual dispatch per word.
+    window_words: Vec<Word>,
+    /// Scratch for the shadows' block output, reused across windows.
+    shadow_states: Vec<u64>,
     residency: Vec<u64>,
     windows: u64,
     switches: u64,
@@ -253,20 +261,34 @@ impl Core {
         self.uniqueness.reset();
         self.strides.reset();
         self.policy.reset();
-        for (candidate, activity) in self.candidates.iter_mut().zip(&mut self.window_activity) {
+        self.window_words.clear();
+        for candidate in &mut self.candidates {
             candidate.pair.reset();
             candidate.shadow.reset();
-            *activity = cold_activity(candidate.lines);
         }
     }
 
     /// Decision boundary: score the completed window, consult the
     /// policy, and flush into the next window.
     fn boundary(&mut self) {
+        // Deferred shadow scoring: each candidate replays the buffered
+        // window through its shadow encoder as one block. The shadows
+        // were flushed at the previous boundary, so this produces the
+        // exact state sequence the old per-word loop accumulated —
+        // minus `candidates × period` virtual dispatches per window.
+        let lambda = self.cfg.lambda;
+        let words = &self.window_words;
+        let states = &mut self.shadow_states;
         let costs: Vec<f64> = self
-            .window_activity
-            .iter()
-            .map(|a| a.weighted(self.cfg.lambda))
+            .candidates
+            .iter_mut()
+            .map(|candidate| {
+                states.clear();
+                candidate.shadow.encode_block(words, states);
+                let mut activity = cold_activity(candidate.lines);
+                activity.step_slice(states);
+                activity.weighted(lambda)
+            })
             .collect();
         let stats = WindowStats {
             transition_density: self.transitions.density(),
@@ -316,9 +338,9 @@ impl Core {
         self.transitions.reset();
         self.uniqueness.reset();
         self.strides.reset();
-        for (candidate, activity) in self.candidates.iter_mut().zip(&mut self.window_activity) {
+        self.window_words.clear();
+        for candidate in &mut self.candidates {
             candidate.shadow.reset();
-            *activity = cold_activity(candidate.lines);
         }
     }
 
@@ -331,9 +353,9 @@ impl Core {
         self.transitions.push(value);
         self.uniqueness.push(value);
         self.strides.push(value);
-        for (candidate, activity) in self.candidates.iter_mut().zip(&mut self.window_activity) {
-            activity.step(candidate.shadow.encode(value));
-        }
+        // A trailing partial window is never scored (no boundary fires
+        // for it), so buffering is free until the next boundary.
+        self.window_words.push(value);
         self.candidates[self.live].pair.encode(value)
     }
 
@@ -341,7 +363,10 @@ impl Core {
         let recover = self.cfg.recover;
         let width = self.cfg.width;
         let candidate = &mut self.candidates[self.live];
-        match candidate.pair.decode(bus_state & line_mask(candidate.lines)) {
+        match candidate
+            .pair
+            .decode(bus_state & line_mask(candidate.lines))
+        {
             Ok(word) => Ok(word),
             Err(_) if recover => {
                 self.resyncs += 1;
@@ -477,7 +502,7 @@ impl AdaptiveTranscoder {
         let lines = candidates.iter().map(|c| c.lines).max().expect("non-empty");
         let display = format!("adaptive({} p{})", policy.name(), cfg.period);
         let names = cfg.candidates.clone();
-        let window_activity = candidates.iter().map(|c| cold_activity(c.lines)).collect();
+        let period = cfg.period as usize;
         let residency = vec![0; candidates.len()];
         let mut core = Core {
             transitions: StreamingTransitions::new(cfg.width),
@@ -490,7 +515,8 @@ impl AdaptiveTranscoder {
             names,
             policy,
             pos: 0,
-            window_activity,
+            window_words: Vec::with_capacity(period),
+            shadow_states: Vec::with_capacity(period),
             residency,
             windows: 0,
             switches: 0,
@@ -661,8 +687,7 @@ mod tests {
     fn static_policy_never_switches_but_still_flushes() {
         let trace = phase_change_trace(4, 256);
         let cfg = AdaptiveConfig::new(Width::W32, ["window(8)", "stride(4)"], 64);
-        let mut adaptive =
-            AdaptiveTranscoder::new(cfg, Box::new(StaticPolicy::new(0))).unwrap();
+        let mut adaptive = AdaptiveTranscoder::new(cfg, Box::new(StaticPolicy::new(0))).unwrap();
         let (enc, dec) = adaptive.transcoder_mut().split_mut();
         verify_roundtrip(enc, dec, &trace).unwrap();
         let report = adaptive.report();
@@ -745,10 +770,8 @@ mod tests {
 
     #[test]
     fn without_recovery_errors_propagate() {
-        let cfg =
-            AdaptiveConfig::new(Width::W32, ["window(8)"], 64).without_recovery();
-        let mut adaptive =
-            AdaptiveTranscoder::new(cfg, Box::new(StaticPolicy::new(0))).unwrap();
+        let cfg = AdaptiveConfig::new(Width::W32, ["window(8)"], 64).without_recovery();
+        let mut adaptive = AdaptiveTranscoder::new(cfg, Box::new(StaticPolicy::new(0))).unwrap();
         adaptive.reset();
         let mut saw_error = false;
         for (i, v) in phase_change_trace(1, 100).iter().enumerate() {

@@ -317,7 +317,12 @@ mod tests {
     use super::*;
     use bustrace::Width;
 
-    fn obs<'a>(names: &'a [String], costs: &'a [f64], live: usize, index: u64) -> WindowObservation<'a> {
+    fn obs<'a>(
+        names: &'a [String],
+        costs: &'a [f64],
+        live: usize,
+        index: u64,
+    ) -> WindowObservation<'a> {
         WindowObservation {
             index,
             live,

@@ -25,6 +25,19 @@ pub trait Encoder {
     /// bus lines.
     fn encode(&mut self, value: Word) -> u64;
 
+    /// Encodes a block of words, appending one absolute bus state per
+    /// word to `out`. Semantically identical to calling
+    /// [`encode`](Self::encode) once per word, in order — implementors
+    /// override it so the FSM update loop runs monomorphically inside
+    /// the block, paying virtual dispatch once per block instead of once
+    /// per word when driven through `dyn Encoder`.
+    fn encode_block(&mut self, words: &[Word], out: &mut Vec<u64>) {
+        out.reserve(words.len());
+        for &value in words {
+            out.push(self.encode(value));
+        }
+    }
+
     /// Restores the power-on state so a fresh trace can be evaluated.
     fn reset(&mut self);
 }
@@ -56,6 +69,13 @@ impl<E: Encoder + ?Sized> Encoder for Box<E> {
 
     fn encode(&mut self, value: Word) -> u64 {
         (**self).encode(value)
+    }
+
+    // Explicit forwarding is load-bearing: without it, `Box<dyn
+    // Encoder>` would get the *default* per-word body and re-enter
+    // virtual dispatch for every word, defeating the block path.
+    fn encode_block(&mut self, words: &[Word], out: &mut Vec<u64>) {
+        (**self).encode_block(words, out)
     }
 
     fn reset(&mut self) {
@@ -256,6 +276,39 @@ pub fn evaluate<E: Encoder + ?Sized>(encoder: &mut E, trace: &Trace) -> Activity
     activity.step(0); // power-on state: all lines low
     for value in trace.iter() {
         activity.step(encoder.encode(value));
+    }
+    if busprobe::enabled() {
+        busprobe::counter("buscoding.codec.evaluate_calls").inc();
+        busprobe::counter("buscoding.codec.values_encoded").add(trace.len() as u64);
+    }
+    activity
+}
+
+/// Words per [`encode_block`](Encoder::encode_block) chunk used by
+/// [`evaluate_blocks`]: large enough to amortize the per-block virtual
+/// call and probe check, small enough that the state buffer stays in
+/// cache (32 KiB at 4096 × 8 bytes).
+pub const BLOCK_WORDS: usize = 4096;
+
+/// Block-batched [`evaluate`]: streams the trace through
+/// [`Encoder::encode_block`] in [`BLOCK_WORDS`]-sized chunks and folds
+/// the τ/κ accumulation over each output buffer with
+/// [`Activity::step_slice`]. One virtual call per block instead of two
+/// per word when `encoder` is a trait object; the counts are exactly
+/// those of the per-word path (the round-trip equivalence is proptested
+/// for every registry scheme in `tests/block_equivalence.rs`).
+pub fn evaluate_blocks<E: Encoder + ?Sized>(encoder: &mut E, trace: &Trace) -> Activity {
+    static BLOCKS: busprobe::StaticCounter = busprobe::StaticCounter::new("buscoding.blocks");
+    let _span = busprobe::span("buscoding.codec.evaluate_blocks");
+    encoder.reset();
+    let mut activity = Activity::new(encoder.lines());
+    activity.step(0); // power-on state: all lines low
+    let mut states = Vec::with_capacity(BLOCK_WORDS.min(trace.len()));
+    for chunk in trace.values().chunks(BLOCK_WORDS) {
+        states.clear();
+        encoder.encode_block(chunk, &mut states);
+        activity.step_slice(&states);
+        BLOCKS.inc();
     }
     if busprobe::enabled() {
         busprobe::counter("buscoding.codec.evaluate_calls").inc();

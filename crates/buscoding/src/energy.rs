@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Activity {
     lines: u32,
+    pair_mask: u64,
     tau: u64,
     kappa: u64,
     steps: u64,
@@ -58,6 +59,7 @@ impl Activity {
         );
         Activity {
             lines,
+            pair_mask: Self::pair_mask_for(lines),
             tau: 0,
             kappa: 0,
             steps: 0,
@@ -68,7 +70,7 @@ impl Activity {
 
     /// Mask covering the `lines-1` adjacent wire pairs.
     #[inline]
-    fn pair_mask(lines: u32) -> u64 {
+    fn pair_mask_for(lines: u32) -> u64 {
         if lines <= 1 {
             0
         } else if lines >= 65 {
@@ -76,6 +78,13 @@ impl Activity {
         } else {
             (1u64 << (lines - 1)) - 1
         }
+    }
+
+    /// The precomputed adjacent-pair mask for this bus (one bit per
+    /// wire pair, `lines - 1` bits set).
+    #[inline]
+    pub fn pair_mask(&self) -> u64 {
+        self.pair_mask
     }
 
     /// Feeds the next absolute bus state. The first call establishes the
@@ -89,12 +98,54 @@ impl Activity {
         if self.started {
             let x = self.state ^ state;
             self.tau += u64::from(x.count_ones());
-            self.kappa += u64::from(((x ^ (x >> 1)) & Self::pair_mask(self.lines)).count_ones());
+            self.kappa += u64::from(((x ^ (x >> 1)) & self.pair_mask).count_ones());
             self.steps += 1;
         } else {
             self.started = true;
         }
         self.state = state;
+    }
+
+    /// Feeds a slice of consecutive absolute bus states — the bulk
+    /// equivalent of calling [`step`](Self::step) once per element, with
+    /// the started/state bookkeeping hoisted out of the inner loop. The
+    /// τ/κ accumulation is a pure fold over `prev ^ next`, so feeding
+    /// one slice or many sub-slices yields identical counts.
+    pub fn step_slice(&mut self, states: &[u64]) {
+        let mut iter = states.iter().copied();
+        if !self.started {
+            match iter.next() {
+                Some(first) => {
+                    debug_assert!(
+                        self.lines == 64 || first >> self.lines == 0,
+                        "state has bits above the declared line count"
+                    );
+                    self.started = true;
+                    self.state = first;
+                }
+                None => return,
+            }
+        }
+        let mask = self.pair_mask;
+        let mut prev = self.state;
+        let mut tau = 0u64;
+        let mut kappa = 0u64;
+        let mut counted = 0u64;
+        for state in iter {
+            debug_assert!(
+                self.lines == 64 || state >> self.lines == 0,
+                "state has bits above the declared line count"
+            );
+            let x = prev ^ state;
+            tau += u64::from(x.count_ones());
+            kappa += u64::from(((x ^ (x >> 1)) & mask).count_ones());
+            counted += 1;
+            prev = state;
+        }
+        self.tau += tau;
+        self.kappa += kappa;
+        self.steps += counted;
+        self.state = prev;
     }
 
     /// The number of wires being tracked.
@@ -292,7 +343,7 @@ impl CostModel {
     pub fn transition_cost(&self, from: u64, to: u64, lines: u32) -> f64 {
         let x = from ^ to;
         let tau = x.count_ones();
-        let kappa = ((x ^ (x >> 1)) & Activity::pair_mask(lines)).count_ones();
+        let kappa = ((x ^ (x >> 1)) & Activity::pair_mask_for(lines)).count_ones();
         f64::from(tau) + self.lambda * f64::from(kappa)
     }
 
@@ -440,6 +491,82 @@ mod tests {
         let mut a = Activity::new(4);
         let b = Activity::new(5);
         a.merge(&b);
+    }
+
+    fn lcg_states(lines: u32, n: usize, seed: u64) -> Vec<u64> {
+        let mask = if lines == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lines) - 1
+        };
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x & mask
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_mask_is_precomputed_per_width() {
+        assert_eq!(Activity::new(1).pair_mask(), 0);
+        assert_eq!(Activity::new(2).pair_mask(), 0b1);
+        assert_eq!(Activity::new(8).pair_mask(), 0x7F);
+        assert_eq!(Activity::new(64).pair_mask(), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn step_slice_matches_per_step_path() {
+        for lines in [1u32, 2, 13, 34, 64] {
+            let states = lcg_states(lines, 700, 0x1234_5678 + u64::from(lines));
+            let mut per_step = Activity::new(lines);
+            for &s in &states {
+                per_step.step(s);
+            }
+            // One big slice.
+            let mut bulk = Activity::new(lines);
+            bulk.step_slice(&states);
+            assert_eq!(bulk, per_step, "{lines} lines, single slice");
+            // Arbitrary sub-slices, including empty ones.
+            let mut chunked = Activity::new(lines);
+            chunked.step_slice(&[]);
+            for chunk in states.chunks(97) {
+                chunked.step_slice(chunk);
+            }
+            chunked.step_slice(&[]);
+            assert_eq!(chunked, per_step, "{lines} lines, chunked");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_blocks_pins_tau_kappa_to_per_step_path() {
+        // Split a state sequence into blocks, accumulate each block in
+        // its own counter (seeding each with the previous block's last
+        // state so no transition is lost), merge, and require exact τ/κ
+        // agreement with one per-step pass.
+        let lines = 34u32;
+        let states = lcg_states(lines, 1000, 0xBEEF);
+        let mut reference = Activity::new(lines);
+        for &s in &states {
+            reference.step(s);
+        }
+        let mut merged = Activity::new(lines);
+        let mut boundary: Option<u64> = None;
+        for block in states.chunks(256) {
+            let mut part = Activity::new(lines);
+            if let Some(prev) = boundary {
+                part.step(prev);
+            }
+            part.step_slice(block);
+            merged.merge(&part);
+            boundary = block.last().copied().or(boundary);
+        }
+        assert_eq!(merged.tau(), reference.tau());
+        assert_eq!(merged.kappa(), reference.kappa());
+        assert_eq!(merged.steps(), reference.steps());
     }
 
     #[test]

@@ -49,6 +49,11 @@ impl Encoder for IdentityCodec {
         self.width.truncate(value)
     }
 
+    fn encode_block(&mut self, words: &[Word], out: &mut Vec<u64>) {
+        let mask = self.width.mask();
+        out.extend(words.iter().map(|&value| value & mask));
+    }
+
     fn reset(&mut self) {}
 }
 

@@ -64,7 +64,10 @@ mod identity;
 mod metrics;
 
 pub use codebook::CodeBook;
-pub use codec::{evaluate, verify_roundtrip, Decoder, Encoder, RoundTripError, Transcoder};
+pub use codec::{
+    evaluate, evaluate_blocks, verify_roundtrip, Decoder, Encoder, RoundTripError, Transcoder,
+    BLOCK_WORDS,
+};
 pub use energy::{Activity, CostModel, WireActivity};
 pub use identity::IdentityCodec;
 pub use metrics::{normalized_energy_remaining, percent_energy_removed, SchemeReport};

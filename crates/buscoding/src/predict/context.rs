@@ -21,6 +21,7 @@
 //! because a 32-bit bus has 2³² states but nearly 2⁶⁴ arcs, so arc
 //! frequencies are more dilute.
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
 use bustrace::{Width, Word};
@@ -111,6 +112,10 @@ impl ContextConfig {
 
 /// A sorted frequency table with staged promotion — the behavioral model
 /// shared by both flavors (the key type differs).
+///
+/// Membership stays a linear scan on purpose: the table tops out at 64
+/// entries (one cache line per eight), which a scan beats any hashed
+/// index at — measured on the figure-20..25 sweeps.
 #[derive(Debug, Clone)]
 struct FrequencyCore<K: PartialEq + Copy> {
     table_entries: usize,
@@ -260,6 +265,39 @@ impl Predictor for ValueContextPredictor {
         }
     }
 
+    /// Flat scan over the table then the staged values, newest first —
+    /// the same order [`candidate`](Predictor::candidate) exposes, with
+    /// one bounds check per structure instead of one dynamic lookup per
+    /// candidate.
+    fn rank_of(&self, value: Word, last: Option<Word>, cap: usize) -> Option<usize> {
+        let mut rank = 1usize;
+        for &(k, _) in &self.core.table {
+            if rank >= cap {
+                return None;
+            }
+            if Some(k) == last {
+                continue;
+            }
+            if k == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        for &(k, _) in self.core.sr.iter().rev() {
+            if rank >= cap {
+                return None;
+            }
+            if Some(k) == last {
+                continue;
+            }
+            if k == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        None
+    }
+
     fn observe(&mut self, value: Word) {
         self.core.record(value);
     }
@@ -276,9 +314,14 @@ impl Predictor for ValueContextPredictor {
 pub struct TransitionContextPredictor {
     core: FrequencyCore<(Word, Word)>,
     last: Option<Word>,
-    /// Successors of `last`, rebuilt after each observation so candidate
-    /// lookup is O(1).
-    current: Vec<Word>,
+    /// Successors of `last`, rebuilt lazily at the first candidate
+    /// lookup after an observation (interior mutability because
+    /// [`Predictor::candidate`] takes `&self`). A rank-0 hit — a
+    /// repeated word — never consults candidates, so repeat runs skip
+    /// the table walk entirely; the rebuilt list is identical either
+    /// way because nothing mutates between `observe` and the lookup.
+    current: RefCell<Vec<Word>>,
+    stale: Cell<bool>,
 }
 
 impl TransitionContextPredictor {
@@ -287,21 +330,24 @@ impl TransitionContextPredictor {
         TransitionContextPredictor {
             core: FrequencyCore::new(cfg),
             last: None,
-            current: Vec::new(),
+            current: RefCell::new(Vec::new()),
+            stale: Cell::new(false),
         }
     }
 
-    fn rebuild_candidates(&mut self) {
-        self.current.clear();
+    fn rebuild_candidates(&self) {
+        let mut current = self.current.borrow_mut();
+        current.clear();
+        self.stale.set(false);
         let Some(last) = self.last else { return };
         for &((prev, next), _) in &self.core.table {
             if prev == last {
-                self.current.push(next);
+                current.push(next);
             }
         }
         for &((prev, next), _) in self.core.sr.iter().rev() {
             if prev == last {
-                self.current.push(next);
+                current.push(next);
             }
         }
     }
@@ -320,7 +366,32 @@ impl Predictor for TransitionContextPredictor {
     }
 
     fn candidate(&self, index: usize) -> Option<Word> {
-        self.current.get(index).copied()
+        if self.stale.get() {
+            self.rebuild_candidates();
+        }
+        self.current.borrow().get(index).copied()
+    }
+
+    /// One borrow of the rebuilt successor list instead of a
+    /// borrow-and-check per candidate.
+    fn rank_of(&self, value: Word, last: Option<Word>, cap: usize) -> Option<usize> {
+        if self.stale.get() {
+            self.rebuild_candidates();
+        }
+        let mut rank = 1usize;
+        for &k in self.current.borrow().iter() {
+            if rank >= cap {
+                return None;
+            }
+            if Some(k) == last {
+                continue;
+            }
+            if k == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        None
     }
 
     fn observe(&mut self, value: Word) {
@@ -328,13 +399,14 @@ impl Predictor for TransitionContextPredictor {
             self.core.record((last, value));
         }
         self.last = Some(value);
-        self.rebuild_candidates();
+        self.stale.set(true);
     }
 
     fn reset(&mut self) {
         self.core.reset();
         self.last = None;
-        self.current.clear();
+        self.current.borrow_mut().clear();
+        self.stale.set(false);
     }
 }
 

@@ -70,6 +70,35 @@ pub trait Predictor: std::fmt::Debug {
     /// of the list.
     fn candidate(&self, index: usize) -> Option<Word>;
 
+    /// The rank of `value` as the engine counts ranks: candidates equal
+    /// to `last` are skipped without consuming a rank, the first other
+    /// candidate is rank 1, and ranks at or beyond `cap` do not count.
+    ///
+    /// The default walks [`candidate`](Self::candidate) one index at a
+    /// time. Predictors whose candidate list lives in a directly
+    /// scannable store override this with an equivalent flat scan — the
+    /// rank walk is the single hottest loop in a sweep, and the
+    /// override removes a dynamic call plus re-derived bounds checks
+    /// per candidate. Overrides MUST return exactly what the default
+    /// returns (the `block_equivalence` property tests and the
+    /// byte-identity CI smoke pin this).
+    fn rank_of(&self, value: Word, last: Option<Word>, cap: usize) -> Option<usize> {
+        let mut rank = 1usize;
+        let mut index = 0usize;
+        while rank < cap {
+            let c = self.candidate(index)?;
+            index += 1;
+            if Some(c) == last {
+                continue;
+            }
+            if c == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        None
+    }
+
     /// Feeds the confirmed bus word into the predictor's state.
     fn observe(&mut self, value: Word);
 
@@ -140,20 +169,7 @@ impl<P: Predictor> EngineState<P> {
         if self.last == Some(value) {
             return Some(0);
         }
-        let mut rank = 1usize;
-        let mut index = 0usize;
-        while rank < self.book.len() {
-            let c = self.predictor.candidate(index)?;
-            index += 1;
-            if Some(c) == self.last {
-                continue;
-            }
-            if c == value {
-                return Some(rank);
-            }
-            rank += 1;
-        }
-        None
+        self.predictor.rank_of(value, self.last, self.book.len())
     }
 
     /// The value at `rank` (inverse of [`rank_of_value`]); `None` if the
@@ -327,6 +343,15 @@ impl<P: Predictor> Encoder for PredictiveEncoder<P> {
         }
         self.state.advance(value);
         self.state.assemble()
+    }
+
+    fn encode_block(&mut self, words: &[Word], out: &mut Vec<u64>) {
+        // Monomorphic over the concrete predictor `P`: the rank lookup,
+        // codebook XOR and predictor update all inline per block.
+        out.reserve(words.len());
+        for &value in words {
+            out.push(self.encode(value));
+        }
     }
 
     fn reset(&mut self) {

@@ -116,6 +116,36 @@ impl Predictor for StridePredictor {
         }
     }
 
+    /// Same bank walk as [`candidate`](Predictor::candidate) with the
+    /// history length and the short-history fallback hoisted out of the
+    /// per-stride step.
+    fn rank_of(&self, value: Word, last: Option<Word>, cap: usize) -> Option<usize> {
+        let n = self.history.len();
+        let fallback = self.history.back().copied();
+        let mut rank = 1usize;
+        for k in 1..=self.strides {
+            if rank >= cap {
+                return None;
+            }
+            let c = if n >= 2 * k {
+                let recent = self.history[n - k];
+                let older = self.history[n - 2 * k];
+                self.width
+                    .truncate(recent.wrapping_add(recent.wrapping_sub(older)))
+            } else {
+                fallback?
+            };
+            if Some(c) == last {
+                continue;
+            }
+            if c == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        None
+    }
+
     fn observe(&mut self, value: Word) {
         if self.history.len() == 2 * self.strides {
             self.history.pop_front();

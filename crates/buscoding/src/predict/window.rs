@@ -99,6 +99,26 @@ impl Predictor for WindowPredictor {
         }
     }
 
+    /// Flat newest-first scan of the shift register — same order as
+    /// [`candidate`](Predictor::candidate) without a length check per
+    /// candidate.
+    fn rank_of(&self, value: Word, last: Option<Word>, cap: usize) -> Option<usize> {
+        let mut rank = 1usize;
+        for &k in self.window.iter().rev() {
+            if rank >= cap {
+                return None;
+            }
+            if Some(k) == last {
+                continue;
+            }
+            if k == value {
+                return Some(rank);
+            }
+            rank += 1;
+        }
+        None
+    }
+
     fn observe(&mut self, value: Word) {
         if self.window.contains(&value) {
             // A plain shift register of unique values: hits do not

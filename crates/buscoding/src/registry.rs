@@ -198,10 +198,7 @@ mod tests {
     use bustrace::Trace;
 
     fn mixed_trace(n: u64) -> Trace {
-        Trace::from_values(
-            Width::W32,
-            (0..n).map(|i| (i * 7) % 23 + (i % 3) * 0x1000),
-        )
+        Trace::from_values(Width::W32, (0..n).map(|i| (i * 7) % 23 + (i % 3) * 0x1000))
     }
 
     #[test]
@@ -219,8 +216,8 @@ mod tests {
         ];
         let trace = mixed_trace(400);
         for name in names {
-            let mut pair = scheme_by_name(name, Width::W32)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut pair =
+                scheme_by_name(name, Width::W32).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(pair.name(), name);
             let (enc, dec) = pair.split_mut();
             verify_roundtrip(enc, dec, &trace).unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -126,6 +126,11 @@ impl Encoder for SpatialCodec {
         1u64 << self.width.truncate(value)
     }
 
+    fn encode_block(&mut self, words: &[Word], out: &mut Vec<u64>) {
+        let mask = self.width.mask();
+        out.extend(words.iter().map(|&value| 1u64 << (value & mask)));
+    }
+
     fn reset(&mut self) {}
 }
 

@@ -610,10 +610,10 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             v = match x % 5 {
-                0 => v,                          // repeat
-                1 | 2 => v.wrapping_add(4),      // stride run
-                3 => x & 0xFFFF,                 // small noise
-                _ => (x >> 16) & 0xFFFF_FFFF,    // fresh value
+                0 => v,                       // repeat
+                1 | 2 => v.wrapping_add(4),   // stride run
+                3 => x & 0xFFFF,              // small noise
+                _ => (x >> 16) & 0xFFFF_FFFF, // fresh value
             };
             out.push(v & 0xFFFF_FFFF);
             let _ = i;
