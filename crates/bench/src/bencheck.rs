@@ -1,0 +1,380 @@
+//! The bench regression gate: compares a fresh `repro bench` report
+//! against a committed baseline and decides, statistically honestly,
+//! whether anything got slower.
+//!
+//! Honesty here means three things:
+//!
+//! * **min-of-N vs min-of-N.** Both sides of the comparison are minima
+//!   over their reps — the least-noise estimator either run produced.
+//! * **A noise floor from the data.** The observed rep spread
+//!   (max−min across reps, recorded per experiment in the report) is
+//!   added to the allowance: an experiment whose own reps disagree by
+//!   0.3 s cannot flag a 0.2 s "regression".
+//! * **Incomparable runs refuse to answer.** A baseline taken at
+//!   different `values`/`seed` measures a different workload;
+//!   [`compare`] returns [`CheckOutcome::Incompatible`] instead of a
+//!   fabricated verdict, and the CLI treats that as a warning, not a
+//!   failure.
+//!
+//! Wall-clock regressions use [`CheckConfig::threshold`]; per-phase
+//! regressions (schema `bench-repro/2` reports carry a `phases`
+//! breakdown) use the looser [`CheckConfig::phase_threshold`], since
+//! phase attribution rides on span self-times that jitter more than the
+//! experiment total. Experiments and phases below
+//! [`CheckConfig::min_wall_s`] in the baseline are skipped outright —
+//! sub-noise-floor timings compare as coin flips.
+
+use busprobe::JsonValue;
+
+/// Tunables of the gate. The defaults are deliberately loose: the gate
+/// runs on shared CI machines, and a false "regression" that trains
+/// people to ignore the gate is worse than a missed 20 % slip.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// A wall-clock regression needs `current > baseline × threshold +
+    /// spread`. Default 1.5.
+    pub threshold: f64,
+    /// Per-phase multiplier, applied the same way. Default 2.0.
+    pub phase_threshold: f64,
+    /// Baseline entries (experiments or phases) faster than this are
+    /// not compared at all. Default 0.05 s.
+    pub min_wall_s: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            threshold: 1.5,
+            phase_threshold: 2.0,
+            min_wall_s: 0.05,
+        }
+    }
+}
+
+/// One flagged slowdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Experiment id.
+    pub id: String,
+    /// `"wall"` or `"phase:<name>"`.
+    pub metric: String,
+    /// Baseline seconds (min over its reps).
+    pub baseline_s: f64,
+    /// Current seconds (min over its reps).
+    pub current_s: f64,
+    /// The allowance the current value exceeded.
+    pub limit_s: f64,
+}
+
+/// What a comparison concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// The runs were comparable; the list holds every flagged
+    /// regression (empty = gate passes).
+    Compared(Vec<Regression>),
+    /// The runs measure different workloads; no verdict.
+    Incompatible(String),
+}
+
+fn num(doc: &JsonValue, key: &str) -> Option<f64> {
+    doc.get(key).and_then(JsonValue::as_f64)
+}
+
+fn experiments(doc: &JsonValue) -> Vec<&JsonValue> {
+    match doc.get("experiments") {
+        Some(JsonValue::Arr(items)) => items.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn exp_id(e: &JsonValue) -> Option<&str> {
+    e.get("id").and_then(JsonValue::as_str)
+}
+
+/// Compares a current `bench-repro` report against a baseline one.
+/// Baselines may be schema v1 (no `phases`/`rep_spread_s`); phase
+/// comparison simply doesn't happen for entries that lack either side.
+pub fn compare(baseline: &JsonValue, current: &JsonValue, cfg: &CheckConfig) -> CheckOutcome {
+    for key in ["values", "seed"] {
+        let (b, c) = (num(baseline, key), num(current, key));
+        if b != c {
+            return CheckOutcome::Incompatible(format!(
+                "baseline {key}={} vs current {key}={} — different workloads, not comparing",
+                b.map_or("?".into(), |v| v.to_string()),
+                c.map_or("?".into(), |v| v.to_string()),
+            ));
+        }
+    }
+    let base_by_id: Vec<(&str, &JsonValue)> = experiments(baseline)
+        .into_iter()
+        .filter_map(|e| exp_id(e).map(|id| (id, e)))
+        .collect();
+    let mut regressions = Vec::new();
+    for cur in experiments(current) {
+        let Some(id) = exp_id(cur) else { continue };
+        let Some((_, base)) = base_by_id.iter().find(|(b, _)| *b == id) else {
+            continue; // new experiment: nothing to regress against
+        };
+        let (Some(base_wall), Some(cur_wall)) = (num(base, "wall_s"), num(cur, "wall_s")) else {
+            continue;
+        };
+        if base_wall < cfg.min_wall_s {
+            continue;
+        }
+        // The noise floor: whichever run was noisier sets the bar.
+        let spread = num(base, "rep_spread_s")
+            .unwrap_or(0.0)
+            .max(num(cur, "rep_spread_s").unwrap_or(0.0));
+        let limit = base_wall * cfg.threshold + spread;
+        if cur_wall > limit {
+            regressions.push(Regression {
+                id: id.to_string(),
+                metric: "wall".into(),
+                baseline_s: base_wall,
+                current_s: cur_wall,
+                limit_s: limit,
+            });
+        }
+        let (Some(base_phases), Some(cur_phases)) = (base.get("phases"), cur.get("phases")) else {
+            continue;
+        };
+        let Some(entries) = base_phases.entries() else { continue };
+        for (phase, base_v) in entries {
+            let Some(base_p) = base_v.as_f64() else { continue };
+            if base_p < cfg.min_wall_s {
+                continue;
+            }
+            let Some(cur_p) = cur_phases.get(phase).and_then(JsonValue::as_f64) else {
+                continue;
+            };
+            let limit = base_p * cfg.phase_threshold + cfg.min_wall_s;
+            if cur_p > limit {
+                regressions.push(Regression {
+                    id: id.to_string(),
+                    metric: format!("phase:{phase}"),
+                    baseline_s: base_p,
+                    current_s: cur_p,
+                    limit_s: limit,
+                });
+            }
+        }
+    }
+    CheckOutcome::Compared(regressions)
+}
+
+/// Validates a schema `bench-repro/2` report: the v1 fields must all be
+/// present (`schema`, `reps`, `values`, `seed`, `total_wall_s`, and
+/// per-experiment `id`/`wall_s`/`values_encoded`/`values_per_sec`),
+/// plus the v2 additions — per-experiment `phases` (an object covering
+/// every [`crate::profile::PHASES`] key and `other`), `rep_spread_s`,
+/// `phase_wall_s`, and a top-level `phase_total_s`.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("bench-repro/2") => {}
+        Some(other) => return Err(format!("schema is `{other}`, expected `bench-repro/2`")),
+        None => return Err("report lacks a string `schema` field".into()),
+    }
+    for key in ["reps", "values", "seed", "total_wall_s", "phase_total_s"] {
+        if num(doc, key).is_none() {
+            return Err(format!("report lacks a numeric `{key}` field"));
+        }
+    }
+    let exps = experiments(doc);
+    if exps.is_empty() {
+        return Err("report has no experiments".into());
+    }
+    for e in exps {
+        let id = exp_id(e).ok_or("experiment lacks a string `id`")?;
+        for key in ["wall_s", "values_encoded", "values_per_sec", "rep_spread_s", "phase_wall_s"] {
+            if num(e, key).is_none() {
+                return Err(format!("experiment `{id}` lacks a numeric `{key}`"));
+            }
+        }
+        let phases = e
+            .get("phases")
+            .ok_or_else(|| format!("experiment `{id}` lacks a `phases` object"))?;
+        for phase in crate::profile::PHASES.iter().chain(std::iter::once(&"other")) {
+            if phases.get(phase).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("experiment `{id}` phases lack numeric `{phase}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Entry<'a> = (&'a str, f64, f64, &'a [(&'a str, f64)]);
+
+    fn report(entries: &[Entry]) -> JsonValue {
+        let exps = entries
+            .iter()
+            .map(|(id, wall, spread, phases)| {
+                JsonValue::Obj(vec![
+                    ("id".into(), JsonValue::Str((*id).into())),
+                    ("wall_s".into(), JsonValue::Num(*wall)),
+                    ("values_encoded".into(), JsonValue::Int(1000)),
+                    ("values_per_sec".into(), JsonValue::Num(1000.0 / wall)),
+                    ("rep_spread_s".into(), JsonValue::Num(*spread)),
+                    ("phase_wall_s".into(), JsonValue::Num(*wall)),
+                    (
+                        "phases".into(),
+                        JsonValue::Obj(
+                            phases
+                                .iter()
+                                .map(|(p, s)| ((*p).to_string(), JsonValue::Num(*s)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str("bench-repro/2".into())),
+            ("reps".into(), JsonValue::Int(2)),
+            ("values".into(), JsonValue::Int(200000)),
+            ("seed".into(), JsonValue::Int(1)),
+            ("total_wall_s".into(), JsonValue::Num(10.0)),
+            ("phase_total_s".into(), JsonValue::Num(10.0)),
+            ("experiments".into(), JsonValue::Arr(exps)),
+        ])
+    }
+
+    const QUIET: &[(&str, f64)] = &[("encode", 0.8)];
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = report(&[("fig16", 1.0, 0.02, QUIET)]);
+        let out = compare(&base, &base, &CheckConfig::default());
+        assert_eq!(out, CheckOutcome::Compared(vec![]));
+    }
+
+    #[test]
+    fn synthetic_two_x_slowdown_is_flagged() {
+        let base = report(&[("fig16", 1.0, 0.02, QUIET)]);
+        let slow = report(&[("fig16", 2.0, 0.02, QUIET)]);
+        let CheckOutcome::Compared(regs) = compare(&base, &slow, &CheckConfig::default()) else {
+            panic!("runs are compatible");
+        };
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].id, "fig16");
+        assert_eq!(regs[0].metric, "wall");
+        assert!(regs[0].current_s > regs[0].limit_s);
+    }
+
+    #[test]
+    fn rep_spread_raises_the_bar() {
+        let base = report(&[("fig16", 1.0, 0.0, QUIET)]);
+        // 1.6 s exceeds 1.0 × 1.5 — but a 0.3 s rep spread on the
+        // current run absorbs it.
+        let noisy = report(&[("fig16", 1.6, 0.3, QUIET)]);
+        assert_eq!(
+            compare(&base, &noisy, &CheckConfig::default()),
+            CheckOutcome::Compared(vec![])
+        );
+        let calm = report(&[("fig16", 1.6, 0.0, QUIET)]);
+        let CheckOutcome::Compared(regs) = compare(&base, &calm, &CheckConfig::default()) else {
+            panic!("compatible");
+        };
+        assert_eq!(regs.len(), 1, "without spread the same delta flags");
+    }
+
+    #[test]
+    fn phase_regressions_are_flagged_separately() {
+        let base = report(&[("fig16", 1.0, 0.0, &[("encode", 0.4), ("accumulate", 0.3)])]);
+        // Wall holds steady but accumulate tripled: phase gate fires.
+        let skewed = report(&[("fig16", 1.1, 0.0, &[("encode", 0.1), ("accumulate", 0.9)])]);
+        let CheckOutcome::Compared(regs) = compare(&base, &skewed, &CheckConfig::default()) else {
+            panic!("compatible");
+        };
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "phase:accumulate");
+    }
+
+    #[test]
+    fn sub_floor_experiments_never_flag() {
+        let base = report(&[("table1", 0.0001, 0.0, &[])]);
+        let slow = report(&[("table1", 0.04, 0.0, &[])]);
+        assert_eq!(
+            compare(&base, &slow, &CheckConfig::default()),
+            CheckOutcome::Compared(vec![]),
+            "a 400× slowdown below the noise floor is still noise"
+        );
+    }
+
+    #[test]
+    fn mismatched_workloads_are_incompatible() {
+        let base = report(&[("fig16", 1.0, 0.0, QUIET)]);
+        let mut small = report(&[("fig16", 0.1, 0.0, QUIET)]);
+        if let JsonValue::Obj(pairs) = &mut small {
+            for (k, v) in pairs.iter_mut() {
+                if k == "values" {
+                    *v = JsonValue::Int(3000);
+                }
+            }
+        }
+        match compare(&base, &small, &CheckConfig::default()) {
+            CheckOutcome::Incompatible(msg) => assert!(msg.contains("values"), "{msg}"),
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_baselines_compare_wall_only() {
+        let mut base = report(&[("fig16", 1.0, 0.0, QUIET)]);
+        // Strip the v2 fields to fake an old baseline.
+        if let JsonValue::Obj(pairs) = &mut base {
+            if let Some((_, JsonValue::Arr(exps))) = pairs.iter_mut().find(|(k, _)| k == "experiments")
+            {
+                for e in exps {
+                    if let JsonValue::Obj(fields) = e {
+                        fields.retain(|(k, _)| {
+                            !matches!(k.as_str(), "phases" | "rep_spread_s" | "phase_wall_s")
+                        });
+                    }
+                }
+            }
+        }
+        let slow = report(&[("fig16", 2.0, 0.0, &[("encode", 10.0)])]);
+        let CheckOutcome::Compared(regs) = compare(&base, &slow, &CheckConfig::default()) else {
+            panic!("compatible");
+        };
+        assert_eq!(regs.len(), 1, "wall flags; phases silently skipped");
+        assert_eq!(regs[0].metric, "wall");
+    }
+
+    #[test]
+    fn validate_accepts_v2_and_rejects_gaps() {
+        let good = report(&[(
+            "fig16",
+            1.0,
+            0.0,
+            &[
+                ("trace_gen", 0.1),
+                ("encode", 0.5),
+                ("accumulate", 0.2),
+                ("pricing", 0.05),
+                ("emit", 0.01),
+                ("other", 0.14),
+            ],
+        )]);
+        validate_report(&good).expect("complete v2 report validates");
+        let missing_phase = report(&[("fig16", 1.0, 0.0, &[("encode", 0.5)])]);
+        assert!(validate_report(&missing_phase).unwrap_err().contains("phases"));
+        let mut v1 = good.clone();
+        if let JsonValue::Obj(pairs) = &mut v1 {
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema" {
+                    *v = JsonValue::Str("bench-repro/1".into());
+                }
+            }
+        }
+        assert!(validate_report(&v1).unwrap_err().contains("bench-repro/2"));
+    }
+}

@@ -6,7 +6,9 @@
 //! repro all                    # run everything
 //! repro --metrics fig18        # also record instrumentation metrics
 //! repro metrics-check [file]   # validate a metrics.jsonl file
+//! repro profile fig16 ...      # hierarchical trace profile per experiment
 //! repro bench [reps]           # time every experiment, write BENCH_repro.json
+//! repro bench [reps] --check   # compare against the committed baseline
 //! ```
 //!
 //! Environment: `REPRO_VALUES` (trace length, default 200000),
@@ -22,21 +24,33 @@
 //! independent experiments run concurrently on the worker pool. Output
 //! (console tables, CSVs, plots, timing lines) is always emitted in
 //! registry order, so a parallel run is byte-identical to a serial one.
-//! Metrics mode forces serial execution — the probe registry is
-//! process-global and is reset between experiments so each record
-//! carries only its own counts.
 //!
 //! With metrics on, each experiment appends one JSON record to
 //! `<out>/metrics.jsonl` and prints a per-probe summary table on
-//! stderr; see `docs/OBSERVABILITY.md`.
+//! stderr; see `docs/OBSERVABILITY.md`. Metrics no longer force serial
+//! execution: under the parallel runner each experiment runs inside a
+//! root trace span, its record carries that span subtree (exactly
+//! attributable even with siblings in flight), and a final `_run`
+//! record carries the whole-process registry snapshot. `REPRO_SERIAL=1`
+//! (or selecting a single experiment) restores the old one-registry-
+//! reset-per-experiment records.
+//!
+//! `repro profile <exp>` runs experiments serially with the
+//! hierarchical trace recorder on and writes `<out>/trace-<id>.json`
+//! (Chrome trace-event format — load in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) plus `<out>/trace-<id>.folded` (folded
+//! stacks for flamegraph tooling), and prints a per-phase breakdown.
+//! See the profiling section of `docs/OBSERVABILITY.md`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use bench::bencheck::{self, CheckConfig, CheckOutcome};
 use bench::experiments::{par_map, registry, Experiment};
 use bench::report::Table;
-use bench::{env_flag, metrics, Session};
+use bench::{env_flag, metrics, profile, Session};
+use busprobe::trace;
 
 /// Outcome of one experiment: its tables (or the panic message) and the
 /// wall-clock seconds it took.
@@ -59,6 +73,7 @@ fn execute(e: &Experiment, session: &Session) -> RunResult {
 /// Prints an experiment's tables, writes its CSVs and plots, and emits
 /// the timing line. Returns the row count.
 fn emit_output(id: &str, tables: &[Table], wall_s: f64, session: &Session) -> u64 {
+    let _span = busprobe::span("bench.report.emit");
     let rows: u64 = tables.iter().map(|t| t.rows.len() as u64).sum();
     for table in tables {
         print!("{}", table.to_console());
@@ -107,17 +122,56 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args[0] == "bench" {
-        let reps = match args.get(1) {
-            None => 1,
-            Some(a) => match a.parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!("bench: reps must be a positive integer, got `{a}`");
-                    return ExitCode::FAILURE;
-                }
-            },
-        };
-        return run_bench(&experiments, reps);
+        let mut reps = 1usize;
+        let mut check = false;
+        let mut baseline: Option<std::path::PathBuf> = None;
+        let mut cfg = CheckConfig::default();
+        fn flag_value<'a>(
+            it: &mut std::slice::Iter<'a, String>,
+            flag: &str,
+        ) -> Result<&'a String, String> {
+            it.next()
+                .ok_or_else(|| format!("bench: {flag} needs a value"))
+        }
+        let mut it = args[1..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--check" => check = true,
+                "--baseline" => match flag_value(&mut it, "--baseline") {
+                    Ok(v) => baseline = Some(std::path::PathBuf::from(v)),
+                    Err(e) => return usage_error(&e),
+                },
+                "--threshold" => match flag_value(&mut it, "--threshold")
+                    .and_then(|v| v.parse::<f64>().map_err(|e| format!("bench: --threshold: {e}")))
+                {
+                    Ok(v) if v >= 1.0 => cfg.threshold = v,
+                    Ok(v) => return usage_error(&format!("bench: --threshold must be >= 1, got {v}")),
+                    Err(e) => return usage_error(&e),
+                },
+                "--phase-threshold" => match flag_value(&mut it, "--phase-threshold").and_then(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("bench: --phase-threshold: {e}"))
+                }) {
+                    Ok(v) if v >= 1.0 => cfg.phase_threshold = v,
+                    Ok(v) => {
+                        return usage_error(&format!("bench: --phase-threshold must be >= 1, got {v}"))
+                    }
+                    Err(e) => return usage_error(&e),
+                },
+                other => match other.parse::<usize>() {
+                    Ok(n) if n >= 1 => reps = n,
+                    _ => {
+                        return usage_error(&format!(
+                            "bench: expected reps or a flag, got `{other}`"
+                        ))
+                    }
+                },
+            }
+        }
+        return run_bench(&experiments, reps, check.then_some((baseline, cfg)));
+    }
+    if args[0] == "profile" {
+        return run_profile(&experiments, &args[1..]);
     }
     if args[0] == "metrics-check" {
         let file = args
@@ -153,10 +207,10 @@ fn main() -> ExitCode {
     };
 
     let session = Session::from_env();
-    // The probe registry is process-global and reset per experiment in
-    // metrics mode, so concurrent experiments would corrupt each
-    // other's records.
-    let parallel = selected.len() > 1 && !metrics_on && !env_flag("REPRO_SERIAL");
+    // Metrics no longer force serial execution: parallel mode records
+    // every experiment under a root trace span and attributes metrics
+    // from the span subtrees instead of registry resets.
+    let parallel = selected.len() > 1 && !env_flag("REPRO_SERIAL");
     eprintln!(
         "running {} experiment(s): {} values/trace, seed {}, output {}{}{}{}",
         selected.len(),
@@ -203,9 +257,27 @@ fn main() -> ExitCode {
     };
 
     if parallel {
-        let results = par_map(selected.clone(), |e| execute(e, &session));
+        if metrics_on {
+            // Fresh window: counters cover this run, spans this drain.
+            busprobe::reset();
+            trace::clear();
+            trace::set_enabled(true);
+        }
+        let results = par_map(selected.clone(), |e| {
+            // The root span names the experiment; everything the
+            // experiment's own threads record lands under `<id>/...`
+            // (par_map workers adopt the caller's span context).
+            let _root = busprobe::span(e.id);
+            execute(e, &session)
+        });
+        let spans = if metrics_on {
+            trace::set_enabled(false);
+            trace::drain()
+        } else {
+            Vec::new()
+        };
         for (e, (result, wall_s)) in selected.iter().zip(results) {
-            emit(
+            let rows = emit(
                 e,
                 result,
                 wall_s,
@@ -213,6 +285,34 @@ fn main() -> ExitCode {
                 &mut grand_tables,
                 &mut grand_rows,
             );
+            if let (true, Some(rows)) = (metrics_on, rows) {
+                busprobe::counter("bench.experiment.rows").add(rows);
+                busprobe::histogram("bench.experiment.wall_ms", busprobe::DEFAULT_BOUNDS)
+                    .observe((wall_s * 1000.0) as u64);
+                let nodes = trace::aggregate(&profile::subtree(&spans, e.id));
+                let snaps = profile::nodes_to_snapshots(&nodes);
+                eprint!(
+                    "--- metrics [{}] (span subtree) ---\n{}",
+                    e.id,
+                    busprobe::render_summary(&snaps)
+                );
+                match metrics::emit_record(&session, e.id, wall_s, rows, profile::nodes_to_json(&nodes))
+                {
+                    Ok(file) => eprintln!("[{}] metrics appended to {}", e.id, file.display()),
+                    Err(err) => eprintln!("warning: could not write metrics for {}: {err}", e.id),
+                }
+            }
+        }
+        if metrics_on {
+            // The whole-process registry view: counters cannot be
+            // attributed per experiment while siblings run, so they are
+            // published once, honestly, for the run.
+            let run_wall = grand_start.elapsed().as_secs_f64();
+            eprint!("{}", metrics::summary("_run"));
+            match metrics::emit(&session, "_run", run_wall, grand_rows) {
+                Ok(file) => eprintln!("[_run] metrics appended to {}", file.display()),
+                Err(err) => eprintln!("warning: could not write run metrics: {err}"),
+            }
         }
     } else {
         for e in &selected {
@@ -263,16 +363,38 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro bench [reps]`: wall-clock benchmark of the whole experiment
-/// registry. Each rep runs every experiment serially in registry order
-/// against a *fresh* session — every rep pays the same cold trace and
-/// activity stores, like a real `repro all`. Per experiment the minimum
-/// wall time across reps is kept (the least-noise estimate), alongside
-/// the values-encoded tally from the block evaluation engine's probe,
-/// giving values/second throughput. The report is rendered to
-/// `<out>/BENCH_repro.json` and re-parsed before being written, so a
-/// file that exists is guaranteed well-formed.
-fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}
+
+/// `repro bench [reps] [--check ...]`: wall-clock benchmark of the
+/// whole experiment registry. Each rep runs every experiment serially
+/// in registry order against a *fresh* session — every rep pays the
+/// same cold trace and activity stores, like a real `repro all`. Per
+/// experiment the minimum wall time across reps is kept (the
+/// least-noise estimate) together with the max−min rep spread (the
+/// gate's noise floor), alongside the values-encoded tally from the
+/// block evaluation engine's probe, giving values/second throughput.
+///
+/// After the timed reps, one extra **untimed** rep runs with the trace
+/// recorder on and folds each experiment's span subtree into the
+/// pipeline phases (`trace_gen`/`encode`/`accumulate`/`pricing`/
+/// `emit`/`other` — see [`bench::profile`]). Tracing stays off during
+/// the timed reps so its overhead can never leak into `wall_s`; the
+/// phase rep reports its own `phase_wall_s` alongside.
+///
+/// Without `--check`, the schema `bench-repro/2` report is validated
+/// and written to `<out>/BENCH_repro.json`. With `--check`, nothing is
+/// written: the fresh report is compared against the baseline file
+/// (default `<out>/BENCH_repro.json`) by [`bencheck::compare`] —
+/// regressions exit non-zero, an incompatible baseline (different
+/// `values`/`seed`) warns and exits zero.
+fn run_bench(
+    experiments: &[Experiment],
+    reps: usize,
+    check: Option<(Option<std::path::PathBuf>, CheckConfig)>,
+) -> ExitCode {
     use busprobe::json::JsonValue;
     // The values/sec figures come from the probe registry.
     busprobe::set_enabled(true);
@@ -285,6 +407,7 @@ fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
         cfg.seed()
     );
     let mut wall = vec![f64::INFINITY; experiments.len()];
+    let mut wall_max = vec![0.0f64; experiments.len()];
     let mut encoded = vec![0u64; experiments.len()];
     let mut total_wall = f64::INFINITY;
     let mut failed: Vec<&str> = Vec::new();
@@ -303,6 +426,7 @@ fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
                 continue;
             }
             wall[i] = wall[i].min(wall_s);
+            wall_max[i] = wall_max[i].max(wall_s);
             encoded[i] =
                 encoded[i].max(busprobe::counter("buscoding.codec.values_encoded").value());
             eprintln!("[bench {}/{}] {:<22} {:.2}s", rep + 1, reps, e.id, wall_s);
@@ -314,6 +438,39 @@ fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The phase rep: same workload, trace recorder on, never timed into
+    // `wall_s`. CSV rendering cost is probed in memory (no writes).
+    eprintln!("[bench] phase rep (untimed, trace recorder on)");
+    let phase_session = Session::from_env();
+    let mut phases: Vec<Vec<(&'static str, f64)>> = Vec::with_capacity(experiments.len());
+    let mut phase_wall = vec![0.0f64; experiments.len()];
+    trace::clear();
+    trace::set_enabled(true);
+    for (i, e) in experiments.iter().enumerate() {
+        busprobe::reset();
+        trace::clear();
+        let (result, wall_s) = {
+            let _root = busprobe::span(e.id);
+            let (result, wall_s) = execute(e, &phase_session);
+            if let Ok(tables) = &result {
+                let _emit = busprobe::span("bench.report.emit");
+                for t in tables {
+                    std::hint::black_box(t.to_csv());
+                }
+            }
+            (result, wall_s)
+        };
+        let spans = trace::drain();
+        phase_wall[i] = wall_s;
+        if result.is_err() {
+            phases.push(profile::phase_breakdown(&[], 0.0));
+            continue;
+        }
+        let nodes = trace::aggregate(&profile::subtree(&spans, e.id));
+        phases.push(profile::phase_breakdown(&nodes, wall_s));
+    }
+    trace::set_enabled(false);
+
     let per_experiment: Vec<JsonValue> = experiments
         .iter()
         .enumerate()
@@ -323,38 +480,64 @@ fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
             } else {
                 0.0
             };
+            let spread = if reps > 1 {
+                (wall_max[i] - wall[i]).max(0.0)
+            } else {
+                0.0
+            };
             JsonValue::Obj(vec![
                 ("id".into(), JsonValue::Str(e.id.into())),
                 ("wall_s".into(), JsonValue::Num(wall[i])),
                 ("values_encoded".into(), JsonValue::Int(encoded[i] as i64)),
                 ("values_per_sec".into(), JsonValue::Num(vps)),
+                ("rep_spread_s".into(), JsonValue::Num(spread)),
+                ("phase_wall_s".into(), JsonValue::Num(phase_wall[i])),
+                (
+                    "phases".into(),
+                    JsonValue::Obj(
+                        phases[i]
+                            .iter()
+                            .map(|(p, s)| ((*p).to_string(), JsonValue::Num(*s)))
+                            .collect(),
+                    ),
+                ),
             ])
         })
         .collect();
     let doc = JsonValue::Obj(vec![
-        ("schema".into(), JsonValue::Str("bench-repro/1".into())),
+        ("schema".into(), JsonValue::Str("bench-repro/2".into())),
         ("reps".into(), JsonValue::Int(reps as i64)),
         ("values".into(), JsonValue::Int(cfg.values() as i64)),
         ("seed".into(), JsonValue::Int(cfg.seed() as i64)),
         ("total_wall_s".into(), JsonValue::Num(total_wall)),
+        (
+            "phase_total_s".into(),
+            JsonValue::Num(phase_wall.iter().sum()),
+        ),
         ("experiments".into(), JsonValue::Arr(per_experiment)),
     ]);
     let rendered = format!("{doc}\n");
-    // Self-validate before writing: the emitted report must round-trip
-    // through the strict parser with a non-empty experiment list.
-    match busprobe::json::parse(rendered.trim_end()) {
-        Ok(parsed) => match parsed.get("experiments") {
-            Some(JsonValue::Arr(items)) if !items.is_empty() => {}
-            _ => {
-                eprintln!("bench: emitted report has no experiments");
-                return ExitCode::FAILURE;
-            }
-        },
+    // Self-validate before writing or comparing: the emitted report
+    // must round-trip through the strict parser and satisfy the v2
+    // schema contract.
+    let reparsed = match busprobe::json::parse(rendered.trim_end()) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("bench: emitted report does not parse: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    if let Err(e) = bencheck::validate_report(&reparsed) {
+        eprintln!("bench: emitted report is not a valid bench-repro/2 document: {e}");
+        return ExitCode::FAILURE;
     }
+
+    if let Some((baseline_path, check_cfg)) = check {
+        let baseline_path =
+            baseline_path.unwrap_or_else(|| cfg.out_dir().join("BENCH_repro.json"));
+        return run_check(&baseline_path, &reparsed, &check_cfg);
+    }
+
     let path = cfg.out_dir().join("BENCH_repro.json");
     if let Err(e) =
         std::fs::create_dir_all(cfg.out_dir()).and_then(|()| std::fs::write(&path, &rendered))
@@ -371,9 +554,192 @@ fn run_bench(experiments: &[Experiment], reps: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--check` tail of [`run_bench`]: loads the baseline, compares,
+/// reports. A missing or incompatible baseline is a warning (exit 0) —
+/// the gate refuses to guess; an actual regression exits non-zero.
+fn run_check(
+    baseline_path: &std::path::Path,
+    current: &busprobe::JsonValue,
+    cfg: &CheckConfig,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "[bench --check] no baseline at {} ({e}); nothing to compare",
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let baseline = match busprobe::json::parse(text.trim_end()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "[bench --check] baseline {} does not parse: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match bencheck::compare(&baseline, current, cfg) {
+        CheckOutcome::Incompatible(reason) => {
+            eprintln!("[bench --check] not comparable: {reason}");
+            ExitCode::SUCCESS
+        }
+        CheckOutcome::Compared(regs) if regs.is_empty() => {
+            eprintln!(
+                "[bench --check] OK against {} (threshold {}x, phase {}x)",
+                baseline_path.display(),
+                cfg.threshold,
+                cfg.phase_threshold
+            );
+            ExitCode::SUCCESS
+        }
+        CheckOutcome::Compared(regs) => {
+            for r in &regs {
+                eprintln!(
+                    "[bench --check] REGRESSION {} {}: {:.3}s -> {:.3}s (limit {:.3}s)",
+                    r.id, r.metric, r.baseline_s, r.current_s, r.limit_s
+                );
+            }
+            eprintln!(
+                "[bench --check] {} regression(s) against {}",
+                regs.len(),
+                baseline_path.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro profile <experiment>...`: serial runs with the hierarchical
+/// trace recorder and per-span counter capture on. Per experiment,
+/// writes the Chrome trace (`<out>/trace-<id>.json`, validated before
+/// writing) and folded stacks (`<out>/trace-<id>.folded`), then prints
+/// the phase breakdown and the largest self-time spans.
+fn run_profile(experiments: &[Experiment], args: &[String]) -> ExitCode {
+    let selected: Vec<&Experiment> = if args.iter().any(|a| a == "all") {
+        experiments.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in args {
+            match experiments.iter().find(|e| e.id == a.as_str()) {
+                Some(e) => sel.push(e),
+                None => {
+                    return usage_error(&format!("unknown experiment `{a}` (try `repro list`)"))
+                }
+            }
+        }
+        sel
+    };
+    if selected.is_empty() {
+        return usage_error("profile: name at least one experiment (or `all`)");
+    }
+    let session = Session::from_env();
+    // Serial on purpose: per-span counter deltas come from the global
+    // registry, so concurrent experiments would bleed into each other's
+    // args. Metrics on so the counters move; trace on so spans record.
+    busprobe::set_enabled(true);
+    trace::set_enabled(true);
+    trace::set_capture_counters(true);
+    eprintln!(
+        "profiling {} experiment(s): {} values/trace, seed {}, output {}",
+        selected.len(),
+        session.values(),
+        session.seed(),
+        session.out_dir().display()
+    );
+    let mut failed: Vec<&str> = Vec::new();
+    for e in &selected {
+        busprobe::reset();
+        trace::clear();
+        let ok = {
+            let _root = busprobe::span(e.id);
+            let (result, wall_s) = execute(e, &session);
+            match result {
+                Ok(tables) => {
+                    emit_output(e.id, &tables, wall_s, &session);
+                    true
+                }
+                Err(msg) => {
+                    eprintln!("[{}] FAILED: experiment panicked: {msg}", e.id);
+                    false
+                }
+            }
+        };
+        let spans = trace::drain();
+        if !ok {
+            failed.push(e.id);
+            continue;
+        }
+        let doc = trace::chrome_trace(&spans);
+        let pairs = match trace::validate_chrome(&doc) {
+            Ok(n) => n,
+            Err(err) => {
+                eprintln!("[{}] FAILED: emitted trace is invalid: {err}", e.id);
+                failed.push(e.id);
+                continue;
+            }
+        };
+        let trace_path = session.out_dir().join(format!("trace-{}.json", e.id));
+        let folded_path = session.out_dir().join(format!("trace-{}.folded", e.id));
+        let write = std::fs::create_dir_all(session.out_dir())
+            .and_then(|()| std::fs::write(&trace_path, format!("{doc}\n")))
+            .and_then(|()| std::fs::write(&folded_path, trace::folded_stacks(&spans)));
+        if let Err(err) = write {
+            eprintln!("[{}] FAILED: could not write trace files: {err}", e.id);
+            failed.push(e.id);
+            continue;
+        }
+        eprintln!(
+            "[{}] profile: {} span(s) -> {} and {}",
+            e.id,
+            pairs,
+            trace_path.display(),
+            folded_path.display()
+        );
+        let root_wall_s = spans
+            .iter()
+            .find(|s| s.path == e.id)
+            .map_or(0.0, |s| s.dur_ns() as f64 / 1e9);
+        let nodes = trace::aggregate(&profile::subtree(&spans, e.id));
+        let breakdown = profile::phase_breakdown(&nodes, root_wall_s);
+        let line: Vec<String> = breakdown
+            .iter()
+            .map(|(p, s)| format!("{p} {s:.2}s"))
+            .collect();
+        eprintln!("[{}] phases: {}", e.id, line.join("  "));
+        let mut by_self = nodes;
+        by_self.sort_by_key(|n| std::cmp::Reverse(n.self_ns));
+        eprintln!("[{}] top self-time:", e.id);
+        for node in by_self.iter().take(8).filter(|n| n.self_ns > 0) {
+            eprintln!(
+                "  {:>8.3}s  {} (n={})",
+                node.self_ns as f64 / 1e9,
+                node.path,
+                node.count
+            );
+        }
+    }
+    trace::set_capture_counters(false);
+    trace::set_enabled(false);
+    if !failed.is_empty() {
+        eprintln!(
+            "{} experiment(s) FAILED to profile: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn print_usage(experiments: &[Experiment]) {
     println!(
-        "usage: repro [--metrics] <experiment>... | all | list | metrics-check [file] | bench [reps]"
+        "usage: repro [--metrics] <experiment>... | all | list | metrics-check [file] \
+         | profile <experiment>... | bench [reps] [--check] [--baseline <file>] \
+         [--threshold X] [--phase-threshold Y]"
     );
     println!("env: REPRO_VALUES, REPRO_SEED, REPRO_OUT, REPRO_METRICS, REPRO_CACHE, REPRO_SERIAL");
     println!("experiments:");

@@ -267,6 +267,12 @@ impl<T> Drop for DrainOnPanic<'_, T> {
 /// Used both inside experiments (fanning a workload list out) and by
 /// the `repro` runner (fanning the experiments themselves out).
 ///
+/// Workers adopt the calling thread's busprobe span context before
+/// touching any work, so spans opened inside `f` record under the
+/// caller's active path (`fig16/buscoding.codec.evaluate_blocks`, not a
+/// bare `buscoding.codec.evaluate_blocks`) — metrics and trace
+/// recording stay attributable under parallel execution.
+///
 /// # Panics
 ///
 /// A panicking closure does not take the pool down with it: pending
@@ -288,16 +294,21 @@ where
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(work);
     let slots = std::sync::Mutex::new(&mut out);
+    let span_ctx = busprobe::span_context();
     let first_panic = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                s.spawn(|| loop {
-                    let item = relock(&queue).pop();
-                    let Some((i, t)) = item else { break };
-                    let drain = DrainOnPanic(&queue);
-                    let r = f(t);
-                    drop(drain);
-                    relock(&slots)[i] = Some(r);
+                let (span_ctx, queue, slots, f) = (&span_ctx, &queue, &slots, &f);
+                s.spawn(move || {
+                    busprobe::adopt_span_context(span_ctx);
+                    loop {
+                        let item = relock(queue).pop();
+                        let Some((i, t)) = item else { break };
+                        let drain = DrainOnPanic(queue);
+                        let r = f(t);
+                        drop(drain);
+                        relock(slots)[i] = Some(r);
+                    }
                 })
             })
             .collect();
@@ -359,5 +370,33 @@ mod tests {
         assert!(msg.contains("boom at 13"), "wrong payload: {msg:?}");
         // The pool is reusable afterwards: nothing global was poisoned.
         assert_eq!(par_map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_workers_adopt_the_callers_span_context() {
+        // Trace recording is process-global; other tests' spans may land
+        // in the buffer concurrently, so assert on our own unique names
+        // only instead of on the drained set as a whole.
+        busprobe::trace::set_enabled(true);
+        {
+            let _parent = busprobe::span("test.parmap.parent");
+            par_map(vec![1u32, 2, 3, 4], |_| {
+                let _child = busprobe::span("test.parmap.child");
+            });
+        }
+        busprobe::trace::set_enabled(false);
+        let spans = busprobe::trace::drain();
+        let children = spans
+            .iter()
+            .filter(|s| s.path.ends_with("test.parmap.child"))
+            .count();
+        assert_eq!(children, 4, "every worker item records its span");
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.path.ends_with("test.parmap.child"))
+                .all(|s| s.path.ends_with("test.parmap.parent/test.parmap.child")),
+            "worker spans must carry the caller's path prefix"
+        );
     }
 }

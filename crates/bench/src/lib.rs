@@ -11,9 +11,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bencheck;
 pub mod experiments;
 pub mod metrics;
 pub mod plot;
+pub mod profile;
 pub mod report;
 pub mod schemes;
 pub mod session;

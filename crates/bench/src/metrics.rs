@@ -32,13 +32,37 @@ pub fn emit(
     rows: u64,
 ) -> std::io::Result<PathBuf> {
     let snaps = busprobe::snapshot();
+    emit_record(
+        session,
+        experiment,
+        wall_s,
+        rows,
+        busprobe::snapshot_to_json(&snaps),
+    )
+}
+
+/// [`emit`] with a caller-supplied `metrics` object instead of a
+/// registry snapshot — the parallel runner uses this to attach an
+/// experiment's span-subtree metrics, which stay attributable while
+/// sibling experiments run concurrently.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or appending to the file.
+pub fn emit_record(
+    session: &Session,
+    experiment: &str,
+    wall_s: f64,
+    rows: u64,
+    metrics: JsonValue,
+) -> std::io::Result<PathBuf> {
     let record = JsonValue::Obj(vec![
         ("experiment".into(), JsonValue::Str(experiment.into())),
         ("wall_s".into(), JsonValue::Num(wall_s)),
         ("values".into(), JsonValue::Int(session.values() as i64)),
         ("seed".into(), JsonValue::Int(session.seed() as i64)),
         ("rows".into(), JsonValue::Int(rows as i64)),
-        ("metrics".into(), busprobe::snapshot_to_json(&snaps)),
+        ("metrics".into(), metrics),
     ]);
     let file = path(session);
     busprobe::append_jsonl(&file, &record)?;

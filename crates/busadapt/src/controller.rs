@@ -271,6 +271,7 @@ impl Core {
     /// Decision boundary: score the completed window, consult the
     /// policy, and flush into the next window.
     fn boundary(&mut self) {
+        let _span = busprobe::span("busadapt.controller.boundary");
         // Deferred shadow scoring: each candidate replays the buffered
         // window through its shadow encoder as one block. The shadows
         // were flushed at the previous boundary, so this produces the

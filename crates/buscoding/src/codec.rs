@@ -307,7 +307,12 @@ pub fn evaluate_blocks<E: Encoder + ?Sized>(encoder: &mut E, trace: &Trace) -> A
     for chunk in trace.values().chunks(BLOCK_WORDS) {
         states.clear();
         encoder.encode_block(chunk, &mut states);
-        activity.step_slice(&states);
+        {
+            // Separately spanned so profiles split encoder-FSM time
+            // (this function's self time) from τ/κ accumulation.
+            let _acc = busprobe::span("buscoding.codec.accumulate");
+            activity.step_slice(&states);
+        }
         BLOCKS.inc();
     }
     if busprobe::enabled() {

@@ -241,6 +241,7 @@ impl FaultChannel {
     where
         F: FaultModel + ?Sized,
     {
+        let _span = busprobe::span("busfault.channel.run_adaptive");
         let report = self.run_pair(adaptive.transcoder_mut(), fault, trace);
         (report, adaptive.report())
     }

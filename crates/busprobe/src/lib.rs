@@ -38,13 +38,15 @@
 pub mod json;
 mod registry;
 mod sink;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use json::{JsonError, JsonValue};
 pub use registry::{
-    counter, histogram, reset, snapshot, span, Counter, Histogram, MetricKind, MetricSnapshot,
-    SpanGuard, StaticCounter, StaticHistogram, DEFAULT_BOUNDS,
+    adopt_span_context, counter, histogram, histogram_percentile, reset, snapshot, span,
+    span_context, Counter, Histogram, MetricKind, MetricSnapshot, SpanContext, SpanGuard,
+    StaticCounter, StaticHistogram, DEFAULT_BOUNDS,
 };
 pub use sink::{append_jsonl, render_summary, snapshot_to_json};
 
@@ -79,13 +81,13 @@ pub fn init_from_env() -> bool {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use std::sync::{Mutex, MutexGuard, OnceLock};
 
     /// Registry and the enabled flag are process-global; tests that
     /// enable metrics or reset the registry serialize on this.
-    fn guard() -> MutexGuard<'static, ()> {
+    pub(crate) fn guard() -> MutexGuard<'static, ()> {
         static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
         let m = LOCK.get_or_init(|| Mutex::new(()));
         m.lock().unwrap_or_else(|e| e.into_inner())

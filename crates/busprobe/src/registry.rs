@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::enabled;
+use crate::{enabled, trace};
 
 /// Upper bucket bounds used by [`crate::histogram`] when the caller has
 /// no better idea: powers of four from 1 to ~10⁶ (an implicit +∞ bucket
@@ -51,6 +51,39 @@ fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
     // Metric cells are plain atomics, so a panic while holding the lock
     // cannot leave a cell half-updated; recover from poisoning.
     registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Counters in registration order: a dense side-table that the trace
+/// recorder can sweep in two loads-per-counter to attach counter deltas
+/// to spans, without walking (or locking against) the name-keyed map.
+type DenseCounters = Mutex<Vec<(String, Arc<AtomicU64>)>>;
+
+fn dense_counters() -> &'static DenseCounters {
+    static DENSE: OnceLock<DenseCounters> = OnceLock::new();
+    DENSE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Current value of every registered counter, indexed by registration
+/// order. Indices are stable for the life of the process (counters are
+/// never unregistered), so two sweeps subtract positionally.
+pub(crate) fn dense_counter_values() -> Vec<u64> {
+    dense_counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(_, c)| c.load(Ordering::Relaxed))
+        .collect()
+}
+
+/// Counter names by registration order, aligned with
+/// [`dense_counter_values`].
+pub(crate) fn dense_counter_names() -> Vec<String> {
+    dense_counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect()
 }
 
 /// A handle to a registered monotonic counter.
@@ -122,13 +155,22 @@ impl Histogram {
 /// Panics if `name` is already registered as a different metric kind.
 pub fn counter(name: &str) -> Counter {
     let mut map = lock();
-    match map
-        .entry(name.to_string())
-        .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
-    {
+    let mut fresh = false;
+    let handle = match map.entry(name.to_string()).or_insert_with(|| {
+        fresh = true;
+        Metric::Counter(Arc::new(AtomicU64::new(0)))
+    }) {
         Metric::Counter(cell) => Counter { cell: cell.clone() },
         _ => panic!("metric `{name}` already registered with a different kind"),
+    };
+    drop(map);
+    if fresh {
+        dense_counters()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((name.to_string(), handle.cell.clone()));
     }
+    handle
 }
 
 /// Registers (or fetches) a histogram under `name` with the given upper
@@ -222,8 +264,49 @@ impl StaticHistogram {
 }
 
 thread_local! {
-    /// The active span path of this thread, innermost last.
+    /// The active span path of this thread, innermost last. The leading
+    /// segments may be adopted from a parent thread (see
+    /// [`adopt_span_context`]) — those are context only; this thread's
+    /// own guards never pop below them.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The active span path of a thread, captured so a worker thread can
+/// record its spans under the spawning thread's path.
+///
+/// Span nesting is thread-local; a thread-pool worker starts with an
+/// empty stack, so without adoption its spans would lose their logical
+/// parent (`fig16/buscoding.codec.evaluate_blocks` would flatten to
+/// `buscoding.codec.evaluate_blocks`). Capture the context *before*
+/// spawning and adopt it once per worker closure:
+///
+/// ```
+/// let ctx = busprobe::span_context();
+/// std::thread::scope(|scope| {
+///     scope.spawn(move || {
+///         busprobe::adopt_span_context(&ctx);
+///         let _s = busprobe::span("example.worker.step");
+///     });
+/// });
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext(Vec<&'static str>);
+
+/// Captures the calling thread's active span path for [`adopt_span_context`].
+pub fn span_context() -> SpanContext {
+    SPAN_STACK.with(|s| SpanContext(s.borrow().clone()))
+}
+
+/// Replaces the calling thread's span context with `ctx`. Intended for
+/// the top of a pool-worker closure, before any of its own spans open;
+/// the adopted segments act as path prefix only and are never popped by
+/// this thread's guards.
+pub fn adopt_span_context(ctx: &SpanContext) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.clear();
+        stack.extend_from_slice(&ctx.0);
+    });
 }
 
 /// An RAII guard that records wall time into a span metric on drop.
@@ -233,16 +316,30 @@ thread_local! {
 /// the summary attributes child time within its parent.
 #[must_use = "a span records its duration when dropped"]
 pub struct SpanGuard {
-    /// `None` when metrics were disabled at creation — a no-op guard.
-    active: Option<(Arc<SpanCell>, Instant)>,
+    /// `None` when neither metrics nor tracing were enabled at creation
+    /// — a no-op guard.
+    active: Option<GuardState>,
 }
 
-/// Opens a timing span. Returns a no-op guard when metrics are disabled.
+struct GuardState {
+    /// Aggregate registry cell; absent when only tracing is on.
+    cell: Option<Arc<SpanCell>>,
+    start: Instant,
+    /// Open trace-event arm; absent when only metrics are on.
+    trace: Option<trace::OpenSpan>,
+}
+
+/// Opens a timing span. Records into the aggregate registry when
+/// metrics are enabled and into the trace recorder when tracing is
+/// enabled ([`trace::set_enabled`]); with both off it returns a no-op
+/// guard after one relaxed load.
 ///
 /// `name` is `&'static str` (rather than `&str`) so the thread-local
 /// nesting stack never borrows from the caller.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
+    let metrics_on = enabled();
+    let trace_on = trace::enabled();
+    if !metrics_on && !trace_on {
         return SpanGuard { active: None };
     }
     let path = SPAN_STACK.with(|s| {
@@ -250,7 +347,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(name);
         stack.join("/")
     });
-    let cell = {
+    let cell = metrics_on.then(|| {
         let mut map = lock();
         match map.entry(path.clone()).or_insert_with(|| {
             Metric::Span(Arc::new(SpanCell {
@@ -262,21 +359,31 @@ pub fn span(name: &'static str) -> SpanGuard {
             Metric::Span(cell) => cell.clone(),
             _ => panic!("metric `{path}` already registered with a different kind"),
         }
-    };
+    });
+    let trace_arm = trace_on.then(|| trace::open(path));
     SpanGuard {
-        active: Some((cell, Instant::now())),
+        active: Some(GuardState {
+            cell,
+            start: Instant::now(),
+            trace: trace_arm,
+        }),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((cell, start)) = self.active.take() else {
+        let Some(state) = self.active.take() else {
             return;
         };
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        cell.count.fetch_add(1, Ordering::Relaxed);
-        cell.total_ns.fetch_add(ns, Ordering::Relaxed);
-        cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+        if let Some(cell) = state.cell {
+            let ns = u64::try_from(state.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+            cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        if let Some(open) = state.trace {
+            trace::close(open);
+        }
         SPAN_STACK.with(|s| {
             s.borrow_mut().pop();
         });
@@ -321,6 +428,38 @@ pub enum MetricKind {
         /// Longest single instance, in nanoseconds.
         max_ns: u64,
     },
+}
+
+/// Estimates the `q`-quantile (`0.0..=1.0`) of a fixed-bucket histogram
+/// by linear interpolation inside the bucket that contains the target
+/// rank, matching the Prometheus `histogram_quantile` convention. An
+/// observation in the overflow bucket clamps to the last bound (the
+/// histogram records no upper edge for it). Returns `None` when the
+/// histogram is empty.
+pub fn histogram_percentile(bounds: &[u64], buckets: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if (seen as f64) < rank {
+            continue;
+        }
+        if n == 0 {
+            continue;
+        }
+        let Some(&hi) = bounds.get(i) else {
+            // Overflow bucket: no upper edge, clamp to the last bound.
+            return Some(*bounds.last().expect("bounds checked non-empty") as f64);
+        };
+        let lo = if i == 0 { 0 } else { bounds[i - 1] };
+        let into = rank - (seen - n) as f64;
+        return Some(lo as f64 + (hi - lo) as f64 * (into / n as f64).clamp(0.0, 1.0));
+    }
+    Some(*bounds.last().expect("bounds checked non-empty") as f64)
 }
 
 /// Copies every registered metric, sorted by name.

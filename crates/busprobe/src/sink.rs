@@ -4,12 +4,14 @@ use std::io::Write as _;
 use std::path::Path;
 
 use crate::json::JsonValue;
-use crate::registry::{MetricKind, MetricSnapshot};
+use crate::registry::{histogram_percentile, MetricKind, MetricSnapshot};
 
-/// Renders the snapshot as an aligned, human-readable table. Metrics
-/// with nothing recorded (zero counters, empty histograms/spans) are
-/// skipped so the summary stays readable; spans show count, total, and
-/// mean, histograms show count, mean, and the populated buckets.
+/// Renders the snapshot as an aligned, human-readable table, sorted by
+/// metric path so summary diffs are stable regardless of snapshot
+/// order. Metrics with nothing recorded (zero counters, empty
+/// histograms/spans) are skipped so the summary stays readable; spans
+/// show count, total, and mean, histograms show count, mean,
+/// p50/p95/p99, and the populated buckets.
 pub fn render_summary(snaps: &[MetricSnapshot]) -> String {
     let mut rows: Vec<(String, String)> = Vec::new();
     for s in snaps {
@@ -30,6 +32,11 @@ pub fn render_summary(snaps: &[MetricSnapshot]) -> String {
                 }
                 let mean = *sum as f64 / *count as f64;
                 let mut detail = format!("n={count} mean={mean:.1}");
+                for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    if let Some(v) = histogram_percentile(bounds, buckets, q) {
+                        detail.push_str(&format!(" {label}={v:.1}"));
+                    }
+                }
                 for (i, &n) in buckets.iter().enumerate() {
                     if n == 0 {
                         continue;
@@ -64,6 +71,7 @@ pub fn render_summary(snaps: &[MetricSnapshot]) -> String {
     if rows.is_empty() {
         return "(no metrics recorded)\n".to_string();
     }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
     let name_width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (name, value) in rows {
@@ -74,8 +82,9 @@ pub fn render_summary(snaps: &[MetricSnapshot]) -> String {
 
 /// Converts a snapshot into a flat JSON object: counters become
 /// integers, spans become `{count, total_ns, max_ns}`, histograms
-/// become `{count, sum, buckets: {"le_<bound>": n, "inf": n}}`.
-/// Metrics with nothing recorded are omitted, matching the summary.
+/// become `{count, sum, p50, p95, p99, buckets: {"le_<bound>": n,
+/// "inf": n}}`. Metrics with nothing recorded are omitted, matching
+/// the summary.
 pub fn snapshot_to_json(snaps: &[MetricSnapshot]) -> JsonValue {
     let mut pairs = Vec::new();
     for s in snaps {
@@ -105,14 +114,14 @@ pub fn snapshot_to_json(snaps: &[MetricSnapshot]) -> JsonValue {
                     };
                     bucket_pairs.push((key, int(n)));
                 }
-                pairs.push((
-                    s.name.clone(),
-                    JsonValue::Obj(vec![
-                        ("count".into(), int(*count)),
-                        ("sum".into(), int(*sum)),
-                        ("buckets".into(), JsonValue::Obj(bucket_pairs)),
-                    ]),
-                ));
+                let mut obj = vec![("count".into(), int(*count)), ("sum".into(), int(*sum))];
+                for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    if let Some(v) = histogram_percentile(bounds, buckets, q) {
+                        obj.push((label.into(), JsonValue::Num(v)));
+                    }
+                }
+                obj.push(("buckets".into(), JsonValue::Obj(bucket_pairs)));
+                pairs.push((s.name.clone(), JsonValue::Obj(obj)));
             }
             MetricKind::Span {
                 count,
@@ -145,6 +154,10 @@ fn int(v: u64) -> JsonValue {
 /// Appends one record as a single line to a JSON-lines file, creating
 /// the file and its parent directory as needed.
 ///
+/// The line is rendered in memory and appended with one `write_all`, so
+/// concurrent appenders (O_APPEND semantics) never interleave bytes
+/// within each other's lines.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
@@ -158,7 +171,9 @@ pub fn append_jsonl(path: &Path, record: &JsonValue) -> std::io::Result<()> {
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(file, "{record}")
+    let mut line = record.to_string();
+    line.push('\n');
+    file.write_all(line.as_bytes())
 }
 
 #[cfg(test)]
@@ -220,6 +235,32 @@ mod tests {
         );
         let span = parsed.get("c.span").unwrap();
         assert_eq!(span.get("total_ns").unwrap().as_u64(), Some(3_000_000));
+    }
+
+    #[test]
+    fn summary_is_sorted_by_path() {
+        let mut snaps = sample();
+        snaps.reverse();
+        let table = render_summary(&snaps);
+        let rows: Vec<&str> = table.lines().collect();
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted, "summary rows must come out path-sorted");
+    }
+
+    #[test]
+    fn summary_and_json_carry_percentiles() {
+        let table = render_summary(&sample());
+        // b.hist: bounds [1,10], buckets [2,0,1] → p50 inside le_1,
+        // p99 in the overflow bucket clamps to the last bound.
+        assert!(table.contains("p50=0.8"), "{table}");
+        assert!(table.contains("p99=10.0"), "{table}");
+        let obj = snapshot_to_json(&sample());
+        let parsed = json::parse(&obj.to_string()).unwrap();
+        let hist = parsed.get("b.hist").unwrap();
+        assert_eq!(hist.get("p99").unwrap().as_f64(), Some(10.0));
+        assert!(hist.get("p50").unwrap().as_f64().unwrap() <= 1.0);
+        assert!(parsed.get("c.span").unwrap().get("p50").is_none());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! End-to-end checks of the `repro profile` subcommand and the
+//! regression gate: the emitted Chrome trace must satisfy the
+//! trace-event schema (matched B/E pairs, monotonic timestamps), the
+//! `repro bench` report must validate as `bench-repro/2`, and
+//! `bench --check` must pass against an honest baseline while flagging
+//! a synthetic 2× slowdown with a non-zero exit.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bench::bencheck;
+use busprobe::{trace, JsonValue};
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-profile-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_repro(out: &PathBuf, values: &str, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("REPRO_VALUES", values)
+        .env("REPRO_SEED", "1")
+        .env("REPRO_OUT", out)
+        .env_remove("REPRO_METRICS")
+        .env_remove("REPRO_SERIAL")
+        .output()
+        .expect("repro should launch")
+}
+
+#[test]
+fn profile_fig16_emits_a_valid_chrome_trace() {
+    let out = out_dir("fig16");
+    let result = run_repro(&out, "2000", &["profile", "fig16"]);
+    assert!(
+        result.status.success(),
+        "repro profile failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+
+    let text = std::fs::read_to_string(out.join("trace-fig16.json")).expect("trace written");
+    let doc = busprobe::json::parse(text.trim_end()).expect("trace is strict JSON");
+    let pairs = trace::validate_chrome(&doc).expect("trace-event schema violations");
+    assert!(pairs > 0, "trace must contain spans");
+
+    // The span tree must reach the instrumented layers: the root
+    // experiment span, trace synthesis, and the encode path.
+    let events = match doc.get("traceEvents") {
+        Some(JsonValue::Arr(events)) => events,
+        other => panic!("traceEvents missing: {other:?}"),
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("B"))
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for expected in ["fig16", "buscoding.codec.evaluate_blocks", "bench.workload.trace"] {
+        assert!(
+            names.contains(&expected),
+            "no `{expected}` span among {names:?}"
+        );
+    }
+    // Counter capture is on in profile mode: the encode spans must
+    // carry values-encoded deltas in their E-event args.
+    let rendered = doc.to_string();
+    assert!(
+        rendered.contains("buscoding.codec.values_encoded"),
+        "expected counter deltas attached to spans"
+    );
+
+    // Folded stacks: `seg;seg value` lines, parseable and non-empty.
+    let folded = std::fs::read_to_string(out.join("trace-fig16.folded")).expect("folded written");
+    let lines: Vec<&str> = folded.lines().collect();
+    assert!(!lines.is_empty(), "folded stacks must not be empty");
+    for line in &lines {
+        let (stack, value) = line.rsplit_once(' ').expect("`stack value` format");
+        assert!(!stack.is_empty());
+        value.parse::<u64>().expect("self-time value");
+    }
+    assert!(
+        folded.contains("fig16;"),
+        "stacks are rooted at the experiment: {folded}"
+    );
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn bench_check_passes_honest_baseline_and_flags_synthetic_slowdown() {
+    let out = out_dir("gate");
+    // One rep at a small size writes the v2 baseline.
+    let result = run_repro(&out, "4000", &["bench", "1"]);
+    assert!(
+        result.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let baseline_path = out.join("BENCH_repro.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("report written");
+    let report = busprobe::json::parse(text.trim_end()).expect("report parses");
+    bencheck::validate_report(&report).expect("report satisfies bench-repro/2");
+
+    // Re-running against our own baseline must pass. Thresholds are
+    // loosened: this compares two separate runs on a shared machine,
+    // and the gate's job here is the exit-code contract, not noise
+    // discrimination.
+    let check = run_repro(
+        &out,
+        "4000",
+        &["bench", "1", "--check", "--threshold", "4", "--phase-threshold", "20"],
+    );
+    assert!(
+        check.status.success(),
+        "bench --check failed against an honest baseline: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+
+    // Synthetic 2× slowdown: shrink the slowest experiment's baseline
+    // wall so the (unchanged) current run exceeds twice its baseline,
+    // clearing both the 1.5× threshold and the noise floor.
+    let mut doctored = report.clone();
+    let mut slowest: Option<(String, f64)> = None;
+    if let Some(JsonValue::Arr(exps)) = doctored.get("experiments") {
+        for e in exps {
+            let id = e.get("id").and_then(JsonValue::as_str).unwrap_or_default();
+            let wall = e.get("wall_s").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            if slowest.as_ref().is_none_or(|(_, w)| wall > *w) {
+                slowest = Some((id.to_string(), wall));
+            }
+        }
+    }
+    let (slow_id, slow_wall) = slowest.expect("report has experiments");
+    assert!(
+        slow_wall >= 0.1,
+        "need a >=0.1s experiment for a noise-proof gate test, max was {slow_wall}s"
+    );
+    if let JsonValue::Obj(pairs) = &mut doctored {
+        if let Some((_, JsonValue::Arr(exps))) = pairs.iter_mut().find(|(k, _)| k == "experiments")
+        {
+            for e in exps {
+                if e.get("id").and_then(JsonValue::as_str) == Some(slow_id.as_str()) {
+                    if let JsonValue::Obj(fields) = e {
+                        for (k, v) in fields.iter_mut() {
+                            if k == "wall_s" {
+                                *v = JsonValue::Num(slow_wall / 2.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::fs::write(&baseline_path, format!("{doctored}\n")).unwrap();
+    let check = run_repro(&out, "4000", &["bench", "1", "--check"]);
+    assert!(
+        !check.status.success(),
+        "a 2x slowdown must exit non-zero:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains(&slow_id),
+        "regression report must name {slow_id}:\n{stderr}"
+    );
+
+    // A baseline from a different workload refuses to compare (exit 0).
+    let check = run_repro(&out, "2000", &["bench", "1", "--check"]);
+    assert!(
+        check.status.success(),
+        "incompatible baselines must warn, not fail: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&check.stderr).contains("not comparable"),
+        "expected the incompatibility warning"
+    );
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn parallel_metrics_mode_attributes_span_subtrees() {
+    let out = out_dir("parmetrics");
+    let result = run_repro(&out, "2000", &["--metrics", "fig5", "fig16"]);
+    assert!(
+        result.status.success(),
+        "parallel metrics run failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("parallel"),
+        "two experiments with metrics must run parallel now:\n{stderr}"
+    );
+
+    let text = std::fs::read_to_string(out.join("metrics.jsonl")).expect("metrics.jsonl written");
+    let records: Vec<JsonValue> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| busprobe::json::parse(l).expect("line parses"))
+        .collect();
+    let by_id = |id: &str| {
+        records
+            .iter()
+            .find(|r| r.get("experiment").and_then(JsonValue::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no `{id}` record"))
+    };
+    // Per-experiment records carry only that experiment's span subtree.
+    let fig16 = by_id("fig16").get("metrics").expect("metrics object");
+    assert!(
+        fig16.get("buscoding.codec.evaluate_blocks").is_some(),
+        "fig16 subtree must contain its encode spans: {fig16}"
+    );
+    let fig5 = by_id("fig5").get("metrics").expect("metrics object");
+    assert!(
+        fig5.get("buscoding.codec.evaluate_blocks").is_none(),
+        "fig5 ran no encoders; subtree must not leak fig16's spans: {fig5}"
+    );
+    assert!(fig5.get("wiremodel.repeater.plan").is_some(), "{fig5}");
+    // The _run record carries the whole-process counter registry.
+    let run = by_id("_run").get("metrics").expect("metrics object");
+    assert!(
+        run.get("buscoding.codec.values_encoded").is_some(),
+        "_run must snapshot process-wide counters: {run}"
+    );
+    // And the file as a whole satisfies `repro metrics-check`.
+    let check = run_repro(&out, "2000", &["metrics-check"]);
+    assert!(check.status.success());
+    std::fs::remove_dir_all(&out).ok();
+}
