@@ -9,6 +9,9 @@
 //! repro profile fig16 ...      # hierarchical trace profile per experiment
 //! repro bench [reps]           # time every experiment, write BENCH_repro.json
 //! repro bench [reps] --check   # compare against the committed baseline
+//! repro eval <file|->          # answer one eval request (JSON in, JSON out)
+//! repro serve --socket <path>  # resident daemon over a unix socket
+//! repro serve --stdio          # single-shot framed server on stdin/stdout
 //! ```
 //!
 //! Environment: `REPRO_VALUES` (trace length, default 200000),
@@ -41,6 +44,13 @@
 //! <https://ui.perfetto.dev>) plus `<out>/trace-<id>.folded` (folded
 //! stacks for flamegraph tooling), and prints a per-phase breakdown.
 //! See the profiling section of `docs/OBSERVABILITY.md`.
+//!
+//! `repro eval` and `repro serve` are the two service front ends over
+//! [`bench::api`]: `eval` answers one request body in-process (the
+//! golden path CI diffs the daemon against), `serve` keeps the session
+//! resident behind the framed protocol documented in
+//! `docs/SERVICE.md`. `serve` drains gracefully on SIGTERM/SIGINT and
+//! exits 0.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
@@ -172,6 +182,12 @@ fn main() -> ExitCode {
     }
     if args[0] == "profile" {
         return run_profile(&experiments, &args[1..]);
+    }
+    if args[0] == "serve" {
+        return run_serve(&args[1..]);
+    }
+    if args[0] == "eval" {
+        return run_eval(&args[1..]);
     }
     if args[0] == "metrics-check" {
         let file = args
@@ -554,32 +570,46 @@ fn run_bench(
     ExitCode::SUCCESS
 }
 
+/// Exit code for a `--check` that could not run at all: the baseline is
+/// missing or unreadable. Distinct from `1` (a real regression) so CI
+/// can warn-and-continue on an absent baseline while still failing hard
+/// on a slowdown.
+const EXIT_NO_BASELINE: u8 = 2;
+
 /// The `--check` tail of [`run_bench`]: loads the baseline, compares,
-/// reports. A missing or incompatible baseline is a warning (exit 0) —
-/// the gate refuses to guess; an actual regression exits non-zero.
+/// reports. An incompatible baseline is a warning (exit 0) — the gate
+/// refuses to guess; a missing or unparseable baseline exits
+/// [`EXIT_NO_BASELINE`] with a regeneration hint; an actual regression
+/// exits 1.
 fn run_check(
     baseline_path: &std::path::Path,
     current: &busprobe::JsonValue,
     cfg: &CheckConfig,
 ) -> ExitCode {
+    let no_baseline = |why: &str| {
+        eprintln!("[bench --check] {why}");
+        eprintln!(
+            "[bench --check] regenerate it with `repro bench` (writes {})",
+            baseline_path.display()
+        );
+        ExitCode::from(EXIT_NO_BASELINE)
+    };
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!(
-                "[bench --check] no baseline at {} ({e}); nothing to compare",
+            return no_baseline(&format!(
+                "no baseline at {} ({e}); nothing to compare",
                 baseline_path.display()
-            );
-            return ExitCode::SUCCESS;
+            ));
         }
     };
     let baseline = match busprobe::json::parse(text.trim_end()) {
         Ok(b) => b,
         Err(e) => {
-            eprintln!(
-                "[bench --check] baseline {} does not parse: {e}",
+            return no_baseline(&format!(
+                "baseline {} does not parse: {e}",
                 baseline_path.display()
-            );
-            return ExitCode::FAILURE;
+            ));
         }
     };
     match bencheck::compare(&baseline, current, cfg) {
@@ -608,6 +638,155 @@ fn run_check(
                 regs.len(),
                 baseline_path.display()
             );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro serve`: the resident evaluation daemon (or its stdio
+/// single-shot twin). The session, its trace store, and the coded
+/// activity store stay warm across requests, so a client sweeping one
+/// workload pays for each trace and activity once — exactly the batch
+/// binary's economics, held across process boundaries.
+///
+/// Flags: `--socket <path>` (unix-socket daemon; drains on
+/// SIGTERM/SIGINT and exits 0), `--stdio` (serve frames on
+/// stdin/stdout until EOF), `--shards N`, `--queue N` (per-shard
+/// in-flight bound; overload answers typed `busy`), `--quota N`
+/// (requests per connection).
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut stdio = false;
+    let mut config = busserve::ServerConfig::default();
+    let mut it = args.iter();
+    fn flag_value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next()
+            .ok_or_else(|| format!("serve: {flag} needs a value"))
+    }
+    fn flag_usize(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+        flag_value(it, flag).and_then(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("serve: {flag}: {e}"))
+                .and_then(|n| {
+                    if n >= 1 {
+                        Ok(n)
+                    } else {
+                        Err(format!("serve: {flag} must be >= 1"))
+                    }
+                })
+        })
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match flag_value(&mut it, "--socket") {
+                Ok(v) => socket = Some(std::path::PathBuf::from(v)),
+                Err(e) => return usage_error(&e),
+            },
+            "--stdio" => stdio = true,
+            "--shards" => match flag_usize(&mut it, "--shards") {
+                Ok(n) => config.shards = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--queue" => match flag_usize(&mut it, "--queue") {
+                Ok(n) => config.queue_depth = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--quota" => match flag_usize(&mut it, "--quota") {
+                Ok(n) => config.client_quota = n as u64,
+                Err(e) => return usage_error(&e),
+            },
+            other => return usage_error(&format!("serve: unknown flag `{other}`")),
+        }
+    }
+    if stdio == socket.is_some() {
+        return usage_error("serve: pass exactly one of --socket <path> or --stdio");
+    }
+    // Metrics on so the `metrics` verb (and the activity hit-rate
+    // headline) reflect live counters.
+    busprobe::set_enabled(true);
+    let session = Session::from_env();
+    eprintln!(
+        "[serve] session: {} values/trace, seed {}{}",
+        session.values(),
+        session.seed(),
+        if session.store().disk_dir().is_some() {
+            ", trace cache on"
+        } else {
+            ""
+        }
+    );
+    let server = busserve::Server::new(bench::api::ApiService::new(session), config.clone());
+    let stats = if stdio {
+        server.serve_stdio()
+    } else {
+        let path = socket.expect("checked above");
+        let shutdown = busserve::signal::install();
+        eprintln!(
+            "[serve] listening on {} ({} shard(s), queue {}, quota {}/conn)",
+            path.display(),
+            config.shards,
+            config.queue_depth,
+            config.client_quota
+        );
+        server.serve_unix(&path, shutdown)
+    };
+    match stats {
+        Ok(s) => {
+            eprintln!(
+                "[serve] drained: {} connection(s), {} request(s), {} busy, {} over quota, {} protocol error(s)",
+                s.connections, s.requests, s.busy, s.quota, s.protocol_errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro eval <file|->`: answers one eval request body in-process and
+/// prints the response JSON on stdout — the same computation `serve`
+/// runs for the same body, without a daemon. CI uses it to produce the
+/// golden the daemon's responses are diffed against.
+fn run_eval(args: &[String]) -> ExitCode {
+    use bench::api::{EvalRequest, Evaluator};
+    let raw = match args.first().map(String::as_str) {
+        None | Some("-") => {
+            use std::io::Read;
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => return usage_error(&format!("eval: could not read stdin: {e}")),
+            }
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("eval: could not read {path}: {e}")),
+        },
+    };
+    let body = match busprobe::json::parse(raw.trim()) {
+        Ok(b) => b,
+        Err(e) => return usage_error(&format!("eval: request does not parse: {e}")),
+    };
+    let request = match EvalRequest::from_json(&body) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&format!("eval: {e}")),
+    };
+    let session = Session::from_env();
+    match session.evaluate(&request) {
+        Ok(response) => {
+            println!("{}", response.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // `e` names the candidates itself for unknown schemes —
+            // the same list the daemon ships as the `candidates`
+            // detail.
+            eprintln!("eval: {e}");
             ExitCode::FAILURE
         }
     }
@@ -739,7 +918,8 @@ fn print_usage(experiments: &[Experiment]) {
     println!(
         "usage: repro [--metrics] <experiment>... | all | list | metrics-check [file] \
          | profile <experiment>... | bench [reps] [--check] [--baseline <file>] \
-         [--threshold X] [--phase-threshold Y]"
+         [--threshold X] [--phase-threshold Y] | eval <file|-> \
+         | serve (--socket <path> | --stdio) [--shards N] [--queue N] [--quota N]"
     );
     println!("env: REPRO_VALUES, REPRO_SEED, REPRO_OUT, REPRO_METRICS, REPRO_CACHE, REPRO_SERIAL");
     println!("experiments:");

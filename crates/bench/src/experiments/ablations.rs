@@ -9,6 +9,7 @@ use wiremodel::Technology;
 use crate::experiments::par_map;
 use crate::report::{f, Table};
 use crate::schemes::Scheme;
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -47,15 +48,17 @@ pub fn sort(session: &Session) -> Vec<Table> {
         let cfg = ContextConfig::new(trace.width(), 28, 8);
         // Ideal: behavioral codec — `cfg` is exactly the registry's
         // context-value(28+8 d4096), so the session store supplies it.
-        let coded = session.activity_capped(
-            &Scheme::ContextValue {
-                table: 28,
-                shift: 8,
-                divide: 4096,
-            }
-            .name(),
-            w,
-            CAP,
+        let coded = session.activity(
+            &ActivityQuery::new(
+                Scheme::ContextValue {
+                    table: 28,
+                    shift: 8,
+                    divide: 4096,
+                }
+                .name(),
+                w,
+            )
+            .cap(CAP),
         );
         let baseline = session.baseline_capped(w, CAP);
         let ideal_removed = buscoding::percent_energy_removed(&coded, &baseline, 1.0);
@@ -199,7 +202,8 @@ pub fn last_value(session: &Session) -> Vec<Table> {
         let baseline = session.baseline_capped(w, CAP);
         let mut removed = Vec::new();
         for entries in [1usize, 8] {
-            let coded = session.activity_capped(&Scheme::Window { entries }.name(), w, CAP);
+            let coded =
+                session.activity(&ActivityQuery::new(Scheme::Window { entries }.name(), w).cap(CAP));
             removed.push(buscoding::percent_energy_removed(&coded, &baseline, 1.0));
         }
         (format!("{b}/register"), removed[0], removed[1])

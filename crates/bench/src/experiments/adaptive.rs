@@ -32,6 +32,7 @@ use wiremodel::{Technology, Wire, WireStyle};
 
 use crate::experiments::par_map;
 use crate::report::{f, opt_mm, Table};
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -165,7 +166,7 @@ fn policy_table(session: &Session) -> Table {
         // names are registry names, so the session store carries them.
         let static_runs: Vec<(&str, Activity)> = CANDIDATES
             .iter()
-            .map(|&s| (s, session.activity_capped(s, w, CAP)))
+            .map(|&s| (s, session.activity(&ActivityQuery::new(s, w).cap(CAP))))
             .collect();
         let (best_name, best_coded) = static_runs
             .into_iter()

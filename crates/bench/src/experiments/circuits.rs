@@ -8,6 +8,7 @@ use wiremodel::{Technology, Wire, WireStyle};
 use crate::experiments::par_map;
 use crate::report::{f, Table};
 use crate::schemes::Scheme;
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -117,7 +118,7 @@ pub fn fig26(session: &Session) -> Vec<Table> {
                         }
                     }
                 };
-                session.activity_capped(&scheme.name(), w, CAP)
+                session.activity(&ActivityQuery::new(scheme.name(), w).cap(CAP))
             })
             .collect();
         (design, entries, acts)

@@ -3,22 +3,27 @@
 //! All percentages are λ-weighted energy removed relative to the
 //! un-encoded bus with λ = 1, the paper's default (Section 4.4).
 
-use buscoding::{normalized_energy_remaining, percent_energy_removed};
+use buscoding::normalized_energy_remaining;
 use simcpu::{Benchmark, BusKind};
 
+use crate::api::{EvalRequest, Evaluator};
 use crate::experiments::par_map;
 use crate::report::{f, Table};
 use crate::schemes::Scheme;
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
 const LAMBDA: f64 = 1.0;
 
 /// Generic sweep: for every workload line and every x-axis
-/// configuration, the percent of energy removed. Traces and baseline
-/// activities come from the session caches, so sweeps sharing a
-/// workload grid (figures 16/20/22, 17/21/23, ...) pay for each trace
-/// and baseline once per run.
+/// configuration, the percent of energy removed. Each workload line is
+/// one [`EvalRequest`] through the shared [`Evaluator`] surface — the
+/// same computation a `repro serve` daemon runs for the same request —
+/// so the batch binary and the service cannot drift. Traces and
+/// baseline activities come from the session caches, so sweeps sharing
+/// a workload grid (figures 16/20/22, 17/21/23, ...) pay for each
+/// trace and baseline once per run.
 fn percent_sweep(
     id: &str,
     title: &str,
@@ -27,19 +32,16 @@ fn percent_sweep(
     configs: Vec<(String, Scheme)>,
 ) -> Table {
     let mut t = Table::new(id, title, &["workload", "x", "scheme", "percent_removed"]);
+    let schemes: Vec<String> = configs.iter().map(|(_, s)| s.name()).collect();
     let results = par_map(workloads, |w| {
-        let baseline = session.baseline(w);
+        let request = EvalRequest::stored(w, schemes.clone()).lambda(LAMBDA);
+        let response = session
+            .evaluate(&request)
+            .expect("every swept scheme is a registry name");
         let rows: Vec<(String, String, f64)> = configs
             .iter()
-            .map(|(x, scheme)| {
-                let name = scheme.name();
-                let coded = session.activity(&name, w);
-                (
-                    x.clone(),
-                    name,
-                    percent_energy_removed(&coded, &baseline, LAMBDA),
-                )
-            })
+            .zip(response.results)
+            .map(|((x, _), r)| (x.clone(), r.scheme, r.percent_removed))
             .collect();
         (w.name(), rows)
     });
@@ -101,7 +103,7 @@ pub fn fig15(session: &Session) -> Vec<Table> {
                 chunks: 6,
                 design_lambda: design,
             };
-            session.activity_capped(&scheme.name(), w, CAP)
+            session.activity(&ActivityQuery::new(scheme.name(), w).cap(CAP))
         };
         // λ0 and λ1 designs are independent of the actual λ.
         let fixed: Vec<(String, Vec<buscoding::Activity>)> = [("l0", 0.0), ("l1", 1.0)]

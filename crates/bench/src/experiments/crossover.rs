@@ -11,6 +11,7 @@ use wiremodel::{Technology, WireStyle};
 use crate::experiments::par_map;
 use crate::report::{f, opt_mm, Table};
 use crate::schemes::{window_hw_ops, window_outcome_from_parts, Scheme};
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -44,7 +45,7 @@ fn window_parts(
         WindowParts {
             bench: b,
             baseline: session.baseline(w),
-            coded: session.activity(&Scheme::Window { entries }.name(), w),
+            coded: session.activity(&ActivityQuery::new(Scheme::Window { entries }.name(), w)),
             ops: window_hw_ops(&trace, entries),
             values: trace.len() as u64,
         }
@@ -244,7 +245,7 @@ pub fn headline(session: &Session) -> Vec<Table> {
         schemes
             .iter()
             .map(|s| {
-                let coded = session.activity(&s.name(), w);
+                let coded = session.activity(&ActivityQuery::new(s.name(), w));
                 buscoding::percent_energy_removed(&coded, &baseline, 1.0)
             })
             .collect()

@@ -12,6 +12,7 @@ use simcpu::{Benchmark, BusKind};
 use crate::experiments::par_map;
 use crate::report::{f, Table};
 use crate::schemes::Scheme;
+use crate::session::ActivityQuery;
 use crate::workloads::Workload;
 use crate::Session;
 
@@ -48,7 +49,8 @@ pub fn varlen(session: &Session) -> Vec<Table> {
             let study = huffman_study(&trace, 256, 8);
             let baseline = session.baseline_capped(w, CAP);
             let tau_ratio = study.serialized.tau() as f64 / baseline.tau() as f64;
-            let coded = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
+            let coded =
+                session.activity(&ActivityQuery::new(Scheme::Window { entries: 8 }.name(), w).cap(CAP));
             let window = percent_energy_removed(&coded, &baseline, 1.0);
             (
                 format!("{b}/register"),
@@ -115,7 +117,8 @@ pub fn spatial_bound(session: &Session) -> Vec<Table> {
             let n = trace.len() as f64;
             let baseline = session.baseline_capped(w, CAP);
             let spatial = spatial_activity(&trace);
-            let window = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
+            let window =
+                session.activity(&ActivityQuery::new(Scheme::Window { entries: 8 }.name(), w).cap(CAP));
             (
                 format!("{b}/register"),
                 baseline.tau() as f64 / n,
@@ -175,7 +178,7 @@ pub fn address_bus(session: &Session) -> Vec<Table> {
             let removed: Vec<f64> = schemes
                 .iter()
                 .map(|s| {
-                    let coded = session.activity_capped(&s.name(), w, CAP);
+                    let coded = session.activity(&ActivityQuery::new(s.name(), w).cap(CAP));
                     percent_energy_removed(&coded, &baseline, 1.0)
                 })
                 .collect();
@@ -212,7 +215,8 @@ pub fn miss_policy(session: &Session) -> Vec<Table> {
             // The raw-or-inverted default *is* window(8): share the
             // session store. RawOnly isn't a registry scheme, so it
             // runs the block engine directly.
-            let both = session.activity_capped(&Scheme::Window { entries: 8 }.name(), w, CAP);
+            let both =
+                session.activity(&ActivityQuery::new(Scheme::Window { entries: 8 }.name(), w).cap(CAP));
             let cost = CostModel::default();
             let mut raw_only: PredictiveEncoder<WindowPredictor> =
                 PredictiveEncoder::new(trace.width(), WindowPredictor::new(8), cost)
@@ -292,7 +296,7 @@ pub fn predictors(session: &Session) -> Vec<Table> {
         let removed: Vec<f64> = schemes
             .iter()
             .map(|s| {
-                let coded = session.activity_capped(&s.name(), w, CAP);
+                let coded = session.activity(&ActivityQuery::new(s.name(), w).cap(CAP));
                 percent_energy_removed(&coded, &baseline, 1.0)
             })
             .collect();

@@ -6,11 +6,14 @@
 //! (configuration plus the content-addressed trace store and memoized
 //! baselines — see [`session`]), workload acquisition, scheme evaluation
 //! (behavioral activity plus circuit-level transcoder energy), and
-//! CSV/console reporting.
+//! CSV/console reporting. The [`api`] module is the versioned
+//! request/response surface the `repro` batch binary and the
+//! `repro serve` daemon share (see `docs/SERVICE.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bencheck;
 pub mod experiments;
 pub mod metrics;
@@ -21,7 +24,7 @@ pub mod schemes;
 pub mod session;
 pub mod workloads;
 
-pub use session::{Session, SessionBuilder, TraceKey, TraceStore};
+pub use session::{ActivityQuery, Session, SessionBuilder, TraceKey, TraceStore};
 
 /// Parses an environment variable, warning (rather than silently
 /// ignoring) when it is set but unusable.

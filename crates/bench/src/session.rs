@@ -37,11 +37,96 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use buscoding::Activity;
+use buscoding::{Activity, UnknownScheme};
 use bustrace::{io as trace_io, Trace};
 
 use crate::schemes::baseline_activity;
 use crate::workloads::Workload;
+
+/// One coded-activity request against a [`Session`]: which scheme over
+/// which workload, plus the optional knobs the old
+/// `activity`/`activity_capped`/`activity_with_len` trio spread across
+/// three signatures.
+///
+/// * [`len`](Self::len) — evaluate at an explicit trace length instead
+///   of the session's `values`;
+/// * [`cap`](Self::cap) — bound the (possibly overridden) length, the
+///   idiom of experiments that limit their own cost;
+/// * [`seed`](Self::seed) — evaluate at a different data seed than the
+///   session's (the daemon serving mixed-seed clients needs this; batch
+///   experiments never set it).
+///
+/// ```
+/// # use bench::{ActivityQuery, Session};
+/// # use bench::workloads::Workload;
+/// let session = Session::builder().values(2_000).build();
+/// let q = ActivityQuery::new("window(8)", Workload::Random).cap(500);
+/// let coded = session.activity(&q);
+/// assert_eq!(coded.steps(), 500);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityQuery {
+    scheme: String,
+    workload: Workload,
+    len: Option<usize>,
+    cap: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl ActivityQuery {
+    /// A query for `scheme` (a canonical registry name, e.g.
+    /// `window(8)`) over `workload` at the session's full length and
+    /// seed.
+    pub fn new(scheme: impl Into<String>, workload: Workload) -> Self {
+        ActivityQuery {
+            scheme: scheme.into(),
+            workload,
+            len: None,
+            cap: None,
+            seed: None,
+        }
+    }
+
+    /// Bounds the evaluated length to `min(length, cap)`.
+    #[must_use]
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Evaluates at an explicit trace length instead of the session's.
+    #[must_use]
+    pub fn len(mut self, len: usize) -> Self {
+        self.len = Some(len);
+        self
+    }
+
+    /// Evaluates at an explicit data seed instead of the session's.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The scheme name this query evaluates.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The workload this query evaluates over.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The trace this query addresses under `session`'s defaults.
+    pub fn trace_key(&self, session: &Session) -> TraceKey {
+        let mut values = self.len.unwrap_or(session.values);
+        if let Some(cap) = self.cap {
+            values = values.min(cap);
+        }
+        TraceKey::new(self.workload, values, self.seed.unwrap_or(session.seed))
+    }
+}
 
 /// The content address of one trace: which workload, how many values,
 /// which seed. Two requests with equal keys always denote the same
@@ -160,6 +245,16 @@ impl<K: Eq + Hash + Clone, V> CellMap<K, V> {
             init()
         });
         (cell, missed)
+    }
+
+    /// The initialized value for `key` if some call already built it —
+    /// a cache probe that never triggers initialization.
+    fn peek(&self, key: &K) -> Option<V>
+    where
+        V: Copy,
+    {
+        let map = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(key).and_then(|cell| cell.get().copied())
     }
 
     fn len(&self) -> usize {
@@ -362,55 +457,99 @@ impl Session {
 
     /// The memoized baseline at an explicit length.
     pub fn baseline_with_len(&self, workload: Workload, values: usize) -> Activity {
-        let key = TraceKey::new(workload, values, self.seed);
-        let (cell, _) = self.baselines.get_or_init(&key, || {
+        self.baseline_for(&TraceKey::new(workload, values, self.seed))
+    }
+
+    /// The memoized baseline of an explicit trace key — the entry point
+    /// the service API uses when a request overrides the session seed.
+    pub fn baseline_for(&self, key: &TraceKey) -> Activity {
+        let (cell, _) = self.baselines.get_or_init(key, || {
             BASELINE_MISSES.inc();
-            baseline_activity(&self.store.get(&key))
+            baseline_activity(&self.store.get(key))
         });
         *cell.get().expect("cell initialized by get_or_init")
     }
 
-    /// The memoized coded activity of `scheme` (a canonical registry
-    /// name, e.g. `window(8)`) over `workload` at the session's full
-    /// length. See [`activity_with_len`](Self::activity_with_len).
-    pub fn activity(&self, scheme: &str, workload: Workload) -> Activity {
-        self.activity_with_len(scheme, workload, self.values)
-    }
-
-    /// The memoized coded activity at `min(values, cap)`.
-    pub fn activity_capped(&self, scheme: &str, workload: Workload, cap: usize) -> Activity {
-        self.activity_with_len(scheme, workload, self.values.min(cap))
-    }
-
-    /// The memoized coded activity of `scheme` over `workload` at an
-    /// explicit length — the session-level coded-activity store. The
-    /// key is `(scheme-name, workload, values, seed)`: everything that
-    /// determines the counts and nothing else, so every experiment that
-    /// sweeps the same (scheme, trace) pair shares one evaluation. A
-    /// miss builds the scheme through [`buscoding::scheme_by_name`] and
-    /// runs the block-batched [`buscoding::evaluate_blocks`] engine.
+    /// The memoized coded activity for `query` — the session-level
+    /// coded-activity store, and the single entry point the old
+    /// `activity`/`activity_capped`/`activity_with_len` trio collapsed
+    /// into. The store key is `(scheme-name, workload, values, seed)`:
+    /// everything that determines the counts and nothing else, so every
+    /// experiment that sweeps the same (scheme, trace) pair shares one
+    /// evaluation. A miss builds the scheme through
+    /// [`buscoding::scheme_by_name`] and runs the block-batched
+    /// [`buscoding::evaluate_blocks`] engine.
     ///
     /// Observable via `bench.session.activity_hits` /
     /// `bench.session.activity_misses`.
     ///
     /// # Panics
     ///
-    /// Panics if `scheme` is not a canonical registry name.
-    pub fn activity_with_len(&self, scheme: &str, workload: Workload, values: usize) -> Activity {
-        let trace_key = TraceKey::new(workload, values, self.seed);
-        let key = (scheme.to_string(), trace_key);
-        let (cell, missed) = self.activities.get_or_init(&key, || {
-            let trace = self.store.get(&trace_key);
-            let mut pair = buscoding::scheme_by_name(scheme, trace.width())
-                .unwrap_or_else(|e| panic!("activity store: {e}"));
-            buscoding::evaluate_blocks(pair.encoder_mut(), &trace)
-        });
+    /// Panics if the query's scheme is not a canonical registry name;
+    /// [`try_activity`](Self::try_activity) is the non-panicking form.
+    pub fn activity(&self, query: &ActivityQuery) -> Activity {
+        self.try_activity(query)
+            .unwrap_or_else(|e| panic!("activity store: {e}"))
+    }
+
+    /// The memoized coded activity for `query`, with an unknown scheme
+    /// name surfaced as a typed error instead of a panic — what the
+    /// service front ends use so a client typo cannot take a worker
+    /// down.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownScheme`] when the query's scheme is not a canonical
+    /// registry name; the error's `Display` lists the accepted
+    /// patterns.
+    pub fn try_activity(&self, query: &ActivityQuery) -> Result<Activity, UnknownScheme> {
+        let trace_key = query.trace_key(self);
+        let key = (query.scheme().to_string(), trace_key);
+        if let Some(cached) = self.activities.peek(&key) {
+            ACTIVITY_HITS.inc();
+            return Ok(cached);
+        }
+        // Validate the name (and fetch the trace) before touching the
+        // cell, so a bad query is an error — never a poisoned entry.
+        let trace = self.store.get(&trace_key);
+        let mut pair = buscoding::scheme_by_name(query.scheme(), trace.width())?;
+        let (cell, missed) = self
+            .activities
+            .get_or_init(&key, || buscoding::evaluate_blocks(pair.encoder_mut(), &trace));
         if missed {
             ACTIVITY_MISSES.inc();
         } else {
             ACTIVITY_HITS.inc();
         }
-        *cell.get().expect("cell initialized by get_or_init")
+        Ok(*cell.get().expect("cell initialized by get_or_init"))
+    }
+
+    /// Whether `query`'s activity is already resident (a probe that
+    /// never evaluates) — the cache-provenance bit `bench::api` reports
+    /// per scheme result.
+    pub fn activity_cached(&self, query: &ActivityQuery) -> bool {
+        let trace_key = query.trace_key(self);
+        self.activities
+            .peek(&(query.scheme().to_string(), trace_key))
+            .is_some()
+    }
+
+    /// The memoized coded activity at `min(values, cap)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `activity(&ActivityQuery::new(scheme, workload).cap(cap))`"
+    )]
+    pub fn activity_capped(&self, scheme: &str, workload: Workload, cap: usize) -> Activity {
+        self.activity(&ActivityQuery::new(scheme, workload).cap(cap))
+    }
+
+    /// The memoized coded activity at an explicit length.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `activity(&ActivityQuery::new(scheme, workload).len(values))`"
+    )]
+    pub fn activity_with_len(&self, scheme: &str, workload: Workload, values: usize) -> Activity {
+        self.activity(&ActivityQuery::new(scheme, workload).len(values))
     }
 
     /// Distinct coded activities resident in the activity store.
@@ -563,20 +702,71 @@ mod tests {
         let trace = s.trace(w);
         let mut pair = buscoding::scheme_by_name("window(8)", trace.width()).unwrap();
         let direct = buscoding::evaluate(pair.encoder_mut(), &trace);
-        assert_eq!(s.activity("window(8)", w), direct);
-        assert_eq!(s.activity("window(8)", w), direct);
+        let q = ActivityQuery::new("window(8)", w);
+        assert!(!s.activity_cached(&q));
+        assert_eq!(s.activity(&q), direct);
+        assert!(s.activity_cached(&q));
+        assert_eq!(s.activity(&q), direct);
         assert_eq!(s.activity_store_len(), 1);
         // A different scheme, length or workload is its own entry.
-        let _ = s.activity_capped("window(8)", w, 1_000);
-        let _ = s.activity("identity", w);
+        let _ = s.activity(&q.clone().cap(1_000));
+        let _ = s.activity(&ActivityQuery::new("identity", w));
         assert_eq!(s.activity_store_len(), 3);
+    }
+
+    #[test]
+    fn activity_query_knobs_compose() {
+        let s = Session::builder().values(3_000).seed(4).build();
+        let w = Workload::Random;
+        // len overrides the session length; cap bounds it; both
+        // together evaluate min(len, cap); seed overrides the seed.
+        let key = ActivityQuery::new("identity", w).len(700).trace_key(&s);
+        assert_eq!((key.values(), key.seed()), (700, 4));
+        let key = ActivityQuery::new("identity", w).cap(500).trace_key(&s);
+        assert_eq!(key.values(), 500);
+        let key = ActivityQuery::new("identity", w)
+            .len(700)
+            .cap(500)
+            .trace_key(&s);
+        assert_eq!(key.values(), 500);
+        let key = ActivityQuery::new("identity", w).seed(9).trace_key(&s);
+        assert_eq!(key.seed(), 9);
+        // And the seed override addresses a genuinely different trace.
+        let a = s.activity(&ActivityQuery::new("identity", w).cap(500));
+        let b = s.activity(&ActivityQuery::new("identity", w).cap(500).seed(9));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_query_form() {
+        let s = Session::builder().values(2_000).seed(4).build();
+        let w = Workload::Random;
+        assert_eq!(
+            s.activity_capped("window(8)", w, 500),
+            s.activity(&ActivityQuery::new("window(8)", w).cap(500))
+        );
+        assert_eq!(
+            s.activity_with_len("window(8)", w, 700),
+            s.activity(&ActivityQuery::new("window(8)", w).len(700))
+        );
+    }
+
+    #[test]
+    fn try_activity_surfaces_unknown_schemes_without_poisoning() {
+        let s = Session::builder().values(100).build();
+        let bad = ActivityQuery::new("windoww(8)", Workload::Random);
+        let err = s.try_activity(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown coding scheme"));
+        assert_eq!(s.activity_store_len(), 0, "a typo must not leave an entry");
+        assert!(s.try_activity(&bad.clone()).is_err(), "still an error on retry");
     }
 
     #[test]
     #[should_panic(expected = "unknown coding scheme")]
     fn activity_store_rejects_non_registry_names() {
         let s = Session::builder().values(100).build();
-        let _ = s.activity("windoww(8)", Workload::Random);
+        let _ = s.activity(&ActivityQuery::new("windoww(8)", Workload::Random));
     }
 
     #[test]

@@ -48,6 +48,28 @@ impl Workload {
         }
     }
 
+    /// The inverse of [`name`](Self::name): parses `gcc/register`,
+    /// `random`, `phased/4096`, … back into a workload. This is how
+    /// service requests address workloads, so `parse(w.name())`
+    /// round-trips for every constructible workload.
+    pub fn parse(name: &str) -> Option<Workload> {
+        if name == "random" {
+            return Some(Workload::Random);
+        }
+        if let Some(phase) = name.strip_prefix("phased/") {
+            return phase.parse().ok().map(|phase| Workload::Phased { phase });
+        }
+        let (bench, bus) = name.split_once('/')?;
+        let bench = Benchmark::from_name(bench)?;
+        let bus = match bus {
+            "register" => BusKind::Register,
+            "memory" => BusKind::Memory,
+            "address" => BusKind::Address,
+            _ => return None,
+        };
+        Some(Workload::Bench(bench, bus))
+    }
+
     /// Produces `values` words of this workload, deterministically per
     /// seed.
     pub fn trace(&self, values: usize, seed: u64) -> Trace {
@@ -111,6 +133,20 @@ mod tests {
         );
         assert_eq!(Workload::Random.name(), "random");
         assert_eq!(Workload::PHASED.name(), "phased/4096");
+    }
+
+    #[test]
+    fn parse_inverts_name_for_every_workload() {
+        let mut all = vec![Workload::Random, Workload::PHASED, Workload::PHASED_FAST];
+        for bus in [BusKind::Register, BusKind::Memory, BusKind::Address] {
+            all.extend(Workload::all_benchmarks(bus));
+        }
+        for w in all {
+            assert_eq!(Workload::parse(&w.name()), Some(w), "{}", w.name());
+        }
+        for bad in ["", "gcc", "gcc/cache", "nope/register", "phased/x", "phased/"] {
+            assert_eq!(Workload::parse(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

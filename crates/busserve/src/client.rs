@@ -1,0 +1,91 @@
+//! A minimal blocking client for the frame protocol — used by the CI
+//! smoke clients, the integration tests, and anyone scripting the
+//! daemon from Rust.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use busprobe::json::{self, JsonValue};
+
+use crate::frame::{self, FrameError};
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The response frame was malformed.
+    Frame(FrameError),
+    /// The response payload was not valid UTF-8 JSON.
+    Json(String),
+    /// The server closed the connection instead of responding.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::Json(e) => write!(f, "client could not parse response: {e}"),
+            ClientError::Closed => f.write_str("server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// One connection to a daemon socket; requests are strictly
+/// call-and-response (the protocol permits pipelining, this helper
+/// does not bother).
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one request object and waits for the response object.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::Closed`] when the server
+    /// hung up before responding (e.g. drain).
+    pub fn call(&mut self, request: &JsonValue) -> Result<JsonValue, ClientError> {
+        frame::write_frame(
+            &mut self.stream,
+            request.to_string().as_bytes(),
+            frame::MAX_FRAME_BYTES,
+        )?;
+        let bytes = frame::read_frame(&mut self.stream, frame::MAX_FRAME_BYTES)?
+            .ok_or(ClientError::Closed)?;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ClientError::Json(format!("response is not UTF-8: {e}")))?;
+        json::parse(text).map_err(|e| ClientError::Json(e.to_string()))
+    }
+}

@@ -1,0 +1,67 @@
+//! SIGTERM/SIGINT → shutdown flag, without a libc dependency.
+//!
+//! The container builds with no registry access, so instead of the
+//! `libc` or `signal-hook` crates this module declares the one C
+//! function it needs. The handler only stores to a static
+//! `AtomicBool` — the one thing that is unconditionally async-signal-
+//! safe — and the serve loops poll the flag between frames.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from the platform libc. `handler` is the address of
+    /// an `extern "C" fn(i32)`; the return value (the previous
+    /// handler) is ignored.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+/// Installs the SIGTERM and SIGINT handlers and returns the flag they
+/// set. Idempotent; call once from the daemon's `main` and hand the
+/// flag to [`Server::serve_unix`](crate::Server::serve_unix).
+pub fn install() -> &'static AtomicBool {
+    // SAFETY: `signal` is the libc entry point; the handler does
+    // nothing but a relaxed-store to a static atomic, which is
+    // async-signal-safe.
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    &SHUTDOWN
+}
+
+/// Whether a termination signal has arrived (or [`request`] ran).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Sets the flag programmatically — what a test (or an in-process
+/// shutdown verb) uses instead of a real signal.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag_install_returns_it() {
+        let flag = install();
+        assert!(!flag.load(Ordering::Acquire) || requested());
+        request();
+        assert!(requested());
+        assert!(flag.load(Ordering::Acquire));
+        // Leave the process-global flag clear for any sibling test.
+        flag.store(false, Ordering::Release);
+    }
+}

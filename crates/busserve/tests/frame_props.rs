@@ -1,0 +1,103 @@
+//! Property tests for the frame codec: hostile byte streams must
+//! never panic and must surface typed protocol errors.
+
+use busserve::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes fed to the reader: any outcome is fine, a
+    /// panic is not — and whatever comes back is one of the typed
+    /// results.
+    #[test]
+    fn arbitrary_streams_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = &bytes[..];
+        match read_frame(&mut r, 256) {
+            Ok(None) => prop_assert!(bytes.is_empty()),
+            Ok(Some(payload)) => {
+                prop_assert!(payload.len() <= 256);
+                prop_assert!(bytes.len() >= 4 + payload.len());
+            }
+            Err(FrameError::Truncated { got, want }) => prop_assert!(got < want),
+            Err(FrameError::Oversize { len, limit }) => prop_assert!(len > limit as u64),
+            Err(FrameError::Io(_)) => prop_assert!(false, "slices do not fail i/o"),
+        }
+    }
+
+    /// Every payload round-trips exactly, consuming exactly its bytes.
+    #[test]
+    fn roundtrip_is_identity(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, MAX_FRAME_BYTES).unwrap();
+        prop_assert_eq!(wire.len(), 4 + payload.len());
+        let mut r = &wire[..];
+        let back = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+        prop_assert_eq!(back, payload);
+        prop_assert!(r.is_empty());
+    }
+
+    /// Pipelined frames decode in order; any clean prefix truncation
+    /// yields either fewer complete frames or a typed `Truncated`.
+    #[test]
+    fn pipelined_frames_decode_in_order_and_truncate_typed(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+        cut_back in 0usize..32,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p, MAX_FRAME_BYTES).unwrap();
+        }
+        // Intact stream: every frame comes back, in order.
+        let mut r = &wire[..];
+        for expected in &payloads {
+            let got = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+
+        // Truncated stream: decode until the cut; the tail is either a
+        // clean end or a typed truncation, never a panic or bogus frame.
+        let cut = wire.len().saturating_sub(cut_back);
+        let mut r = &wire[..cut];
+        let mut decoded = 0usize;
+        loop {
+            match read_frame(&mut r, MAX_FRAME_BYTES) {
+                Ok(None) => break,
+                Ok(Some(p)) => {
+                    prop_assert_eq!(&p, &payloads[decoded]);
+                    decoded += 1;
+                }
+                Err(FrameError::Truncated { got, want }) => {
+                    prop_assert!(got < want);
+                    break;
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+        prop_assert!(decoded <= payloads.len());
+    }
+
+    /// A length prefix above the cap is always the typed `Oversize`,
+    /// and rejecting it consumes no payload bytes.
+    #[test]
+    fn oversize_prefixes_are_typed(
+        excess in 1u64..=1024,
+        limit in 0usize..4096,
+    ) {
+        let len = limit as u64 + excess;
+        prop_assume!(len <= u64::from(u32::MAX));
+        let mut wire = (len as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0xEE; 8]);
+        let mut r = &wire[..];
+        match read_frame(&mut r, limit) {
+            Err(FrameError::Oversize { len: l, limit: cap }) => {
+                prop_assert_eq!(l, len);
+                prop_assert_eq!(cap, limit);
+            }
+            other => prop_assert!(false, "expected Oversize, got {other:?}"),
+        }
+        // The reader stopped at the header: payload bytes still there.
+        prop_assert_eq!(r.len(), 8);
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end service test: a resident [`busserve::Server`] wrapping
+//! [`bench::api::ApiService`] on a real unix socket must answer
+//! concurrent clients byte-for-byte identically to a direct in-process
+//! evaluation, hit the warm activity store on a second wave, expose
+//! that via the `metrics` verb, and drain cleanly.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::api::{ApiService, EvalRequest, Evaluator};
+use bench::workloads::Workload;
+use bench::Session;
+use busprobe::json::JsonValue;
+use busserve::{Client, Server, ServerConfig};
+
+const VALUES: usize = 2_000;
+const SEED: u64 = 11;
+
+fn session() -> Session {
+    Session::builder().values(VALUES).seed(SEED).build()
+}
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench-service-{tag}-{}.sock", std::process::id()))
+}
+
+/// Wraps a request body in the wire envelope.
+fn envelope(verb: &str, body: JsonValue) -> JsonValue {
+    let mut pairs = vec![
+        ("v".to_string(), JsonValue::Int(1)),
+        ("verb".to_string(), JsonValue::Str(verb.into())),
+    ];
+    if let JsonValue::Obj(extra) = body {
+        pairs.extend(extra);
+    }
+    JsonValue::Obj(pairs)
+}
+
+fn spawn_server(
+    tag: &str,
+) -> (
+    PathBuf,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<std::io::Result<busserve::ServeStats>>,
+) {
+    let path = temp_socket(tag);
+    let _ = std::fs::remove_file(&path);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let path = path.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let server = Server::new(ApiService::new(session()), ServerConfig::default());
+            server.serve_unix(&path, &shutdown)
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(path.exists(), "server never bound {}", path.display());
+    (path, shutdown, handle)
+}
+
+/// The workload grid the clients sweep: one request body per workload.
+fn requests() -> Vec<EvalRequest> {
+    vec![
+        Workload::Random,
+        Workload::PHASED,
+        Workload::Bench(simcpu::Benchmark::Gcc, simcpu::BusKind::Register),
+        Workload::Bench(simcpu::Benchmark::Swim, simcpu::BusKind::Memory),
+    ]
+    .into_iter()
+    .map(|w| {
+        EvalRequest::stored(
+            w,
+            vec!["window(8)".into(), "stride(4)".into(), "identity".into()],
+        )
+    })
+    .collect()
+}
+
+/// The deterministic half of a response envelope: the `results` array
+/// and `baseline` object rendered to their wire bytes. Provenance and
+/// timing are excluded by construction — they legitimately differ
+/// between a cold golden run and a warm daemon.
+fn deterministic_bytes(result: &JsonValue) -> String {
+    let results = result.get("results").expect("results array");
+    let baseline = result.get("baseline").expect("baseline object");
+    format!("{baseline}|{results}")
+}
+
+#[test]
+fn daemon_matches_batch_golden_hits_cache_and_drains() {
+    // Golden: evaluate every request directly, in process — what the
+    // batch binary computes.
+    let golden_session = session();
+    let goldens: Vec<String> = requests()
+        .iter()
+        .map(|r| {
+            deterministic_bytes(
+                &golden_session
+                    .evaluate(r)
+                    .expect("golden evaluates")
+                    .to_json(),
+            )
+        })
+        .collect();
+
+    busprobe::set_enabled(true);
+    let (path, shutdown, handle) = spawn_server("e2e");
+
+    // Wave 1: 8 concurrent clients, two per workload, each asserting
+    // byte-identity against the golden.
+    let run_wave = || {
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let path = path.clone();
+                let reqs = requests();
+                let goldens = goldens.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&path).expect("connect");
+                    let which = i % reqs.len();
+                    let resp = client
+                        .call(&envelope("eval", reqs[which].to_json()))
+                        .expect("call");
+                    assert_eq!(
+                        resp.get("ok"),
+                        Some(&JsonValue::Bool(true)),
+                        "client {i}: {resp}"
+                    );
+                    let result = resp.get("result").expect("result");
+                    assert_eq!(
+                        deterministic_bytes(result),
+                        goldens[which],
+                        "client {i} drifted from the batch golden"
+                    );
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+    };
+    run_wave();
+
+    // Wave 2: the same requests again — the daemon's resident session
+    // must serve them from the activity store.
+    run_wave();
+
+    // The metrics verb reports the hits the second wave produced.
+    let mut client = Client::connect(&path).expect("connect");
+    let resp = client
+        .call(&envelope("metrics", JsonValue::Obj(vec![])))
+        .expect("metrics");
+    assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(true)), "{resp}");
+    let activity = resp
+        .get("result")
+        .and_then(|r| r.get("activity"))
+        .expect("activity block");
+    let hits = activity
+        .get("hits")
+        .and_then(JsonValue::as_u64)
+        .expect("hits");
+    assert!(hits > 0, "second wave must hit the activity store: {resp}");
+    let rate = activity
+        .get("hit_rate")
+        .and_then(JsonValue::as_f64)
+        .expect("hit_rate");
+    assert!(rate > 0.0 && rate <= 1.0, "{resp}");
+
+    // The profile verb returns a span dump for one request.
+    let resp = client
+        .call(&envelope("profile", requests()[0].to_json()))
+        .expect("profile");
+    assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(true)), "{resp}");
+    let result = resp.get("result").expect("result");
+    assert!(result.get("chrome_trace").is_some(), "{resp}");
+    assert!(
+        result.get("spans").and_then(JsonValue::as_u64).unwrap_or(0) > 0,
+        "profiled request must record spans: {resp}"
+    );
+    drop(client);
+
+    // Drain: flag the shutdown, server joins clean, socket removed.
+    shutdown.store(true, Ordering::Release);
+    let stats = handle.join().expect("server thread").expect("clean drain");
+    assert!(stats.requests >= 18, "{stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+    assert!(!path.exists(), "socket removed on drain");
+}
+
+#[test]
+fn unknown_scheme_over_the_wire_names_candidates() {
+    let (path, shutdown, handle) = spawn_server("unknown");
+    let mut client = Client::connect(&path).expect("connect");
+    let body = EvalRequest::stored(Workload::Random, vec!["tarot(3)".into()]).to_json();
+    let resp = client.call(&envelope("eval", body)).expect("call");
+    assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(false)), "{resp}");
+    let error = resp.get("error").expect("error object");
+    assert_eq!(
+        error.get("kind").and_then(JsonValue::as_str),
+        Some("unknown_scheme"),
+        "{resp}"
+    );
+    // The candidate list rides along as a typed detail.
+    match error.get("candidates") {
+        Some(JsonValue::Arr(items)) => assert!(!items.is_empty(), "{resp}"),
+        other => panic!("candidates array missing: {other:?}"),
+    }
+    // The connection survives a bad request.
+    let ok = client
+        .call(&envelope(
+            "eval",
+            EvalRequest::stored(Workload::Random, vec!["identity".into()]).to_json(),
+        ))
+        .expect("follow-up call");
+    assert_eq!(ok.get("ok"), Some(&JsonValue::Bool(true)), "{ok}");
+    drop(client);
+    shutdown.store(true, Ordering::Release);
+    handle.join().expect("server thread").expect("clean drain");
+}
