@@ -21,6 +21,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use buscoding::predict::trained::ArtifactError;
 use buscoding::{percent_energy_removed, Activity, UnknownScheme, SCHEME_PATTERNS};
 use busprobe::JsonValue;
 use busserve::{Service, ServiceError};
@@ -477,17 +478,34 @@ impl From<ApiError> for ServiceError {
         match e {
             ApiError::BadRequest(_) => ServiceError::bad_request(message),
             ApiError::UnknownWorkload(_) => ServiceError::new("unknown_workload", message),
-            ApiError::UnknownScheme(err) => ServiceError::new("unknown_scheme", message)
-                .with_detail("scheme", JsonValue::Str(err.name().to_string()))
-                .with_detail(
-                    "candidates",
-                    JsonValue::Arr(
-                        SCHEME_PATTERNS
-                            .iter()
-                            .map(|p| JsonValue::Str((*p).to_string()))
-                            .collect(),
+            // A `trained:` name whose grammar is fine but whose
+            // artifact cannot be loaded is its own wire condition:
+            // `artifact_missing` when nothing was ever trained here,
+            // `artifact_invalid` when the file exists but fails
+            // validation. Everything else stays `unknown_scheme`, with
+            // candidates that include concrete `trained:<name>` entries
+            // only when the artifact directory actually has them.
+            ApiError::UnknownScheme(err) => match err.artifact_error() {
+                Some(artifact) => {
+                    let kind = match artifact {
+                        ArtifactError::Missing { .. } => "artifact_missing",
+                        _ => "artifact_invalid",
+                    };
+                    ServiceError::new(kind, message)
+                        .with_detail("scheme", JsonValue::Str(err.name().to_string()))
+                }
+                None => ServiceError::new("unknown_scheme", message)
+                    .with_detail("scheme", JsonValue::Str(err.name().to_string()))
+                    .with_detail(
+                        "candidates",
+                        JsonValue::Arr(
+                            buscoding::scheme_candidates()
+                                .into_iter()
+                                .map(JsonValue::Str)
+                                .collect(),
+                        ),
                     ),
-                ),
+            },
             ApiError::TooLarge { words, limit } => ServiceError::new("too_large", message)
                 .with_detail("words", int(words as u64))
                 .with_detail("limit", int(limit as u64)),
@@ -1005,8 +1023,11 @@ mod tests {
             .iter()
             .find(|(k, _)| k == "candidates")
             .map(|(_, v)| v.clone());
+        // At least every static pattern; concrete `trained:<name>`
+        // entries ride along only when the artifact directory has them.
         assert!(
-            matches!(candidates, Some(JsonValue::Arr(ref items)) if items.len() == SCHEME_PATTERNS.len()),
+            matches!(candidates, Some(JsonValue::Arr(ref items)) if items.len() >= SCHEME_PATTERNS.len()
+                && items.iter().any(|v| matches!(v, JsonValue::Str(s) if s == "window(<entries>)"))),
             "{service_err:?}"
         );
     }

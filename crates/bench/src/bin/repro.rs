@@ -10,6 +10,7 @@
 //! repro bench [reps]           # time every experiment, write BENCH_repro.json
 //! repro bench [reps] --check   # compare against the committed baseline
 //! repro eval <file|->          # answer one eval request (JSON in, JSON out)
+//! repro train <corpus>         # fit predictor tables, write trained/<name>-v1.bin
 //! repro serve --socket <path>  # resident daemon over a unix socket
 //! repro serve --stdio          # single-shot framed server on stdin/stdout
 //! ```
@@ -188,6 +189,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "eval" {
         return run_eval(&args[1..]);
+    }
+    if args[0] == "train" {
+        return run_train(&args[1..], metrics_on);
     }
     if args[0] == "metrics-check" {
         let file = args
@@ -792,6 +796,75 @@ fn run_eval(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro train <corpus>`: fits predictor tables over the corpus's
+/// train split and persists them as a versioned artifact under
+/// `<out>/trained/`. The corpus is a built-in name (`demo`,
+/// `generalize`) or a manifest file path; the resulting artifact is
+/// addressable as scheme `trained:<name>` everywhere schemes are
+/// named — experiments, `eval` bodies, and the daemon. Prints the
+/// artifact path on stdout.
+fn run_train(args: &[String], metrics_on: bool) -> ExitCode {
+    use bench::training::{artifact_dir_for, resolve_corpus, train_with_session};
+    let Some(arg) = args.first() else {
+        return usage_error("train: name a corpus (demo, generalize, or a manifest file)");
+    };
+    if args.len() > 1 {
+        return usage_error("train: expected exactly one corpus argument");
+    }
+    let session = Session::from_env();
+    let corpus = match resolve_corpus(&session, arg) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&format!("train: {e}")),
+    };
+    eprintln!(
+        "training corpus `{}`: {} entr(ies), {} values/trace, seed {}, artifacts under {}",
+        corpus.name(),
+        corpus.entries().len(),
+        session.values(),
+        session.seed(),
+        artifact_dir_for(&session).display()
+    );
+    let start = Instant::now();
+    let tables = match train_with_session(&session, &corpus) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = match bustrain::save_trained(&tables, &artifact_dir_for(&session)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    eprintln!(
+        "[train] `{}` done in {wall_s:.1}s: {} codebook + {} signature + {} stride entries \
+         over {} values -> scheme trained:{}",
+        tables.name,
+        tables.codebook.len(),
+        tables
+            .signatures
+            .iter()
+            .map(|t| t.entries.len())
+            .sum::<usize>(),
+        tables.strides.len(),
+        tables.trained_values,
+        tables.name
+    );
+    println!("{}", path.display());
+    if metrics_on {
+        eprint!("{}", metrics::summary("train"));
+        match metrics::emit(&session, "train", wall_s, tables.total_entries() as u64) {
+            Ok(file) => eprintln!("[train] metrics appended to {}", file.display()),
+            Err(err) => eprintln!("warning: could not write train metrics: {err}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro profile <experiment>...`: serial runs with the hierarchical
 /// trace recorder and per-span counter capture on. Per experiment,
 /// writes the Chrome trace (`<out>/trace-<id>.json`, validated before
@@ -918,7 +991,7 @@ fn print_usage(experiments: &[Experiment]) {
     println!(
         "usage: repro [--metrics] <experiment>... | all | list | metrics-check [file] \
          | profile <experiment>... | bench [reps] [--check] [--baseline <file>] \
-         [--threshold X] [--phase-threshold Y] | eval <file|-> \
+         [--threshold X] [--phase-threshold Y] | eval <file|-> | train <corpus> \
          | serve (--socket <path> | --stdio) [--shards N] [--queue N] [--quota N]"
     );
     println!("env: REPRO_VALUES, REPRO_SEED, REPRO_OUT, REPRO_METRICS, REPRO_CACHE, REPRO_SERIAL");

@@ -9,6 +9,7 @@ pub mod crossover;
 pub mod extensions;
 pub mod faults;
 pub mod traces;
+pub mod training;
 pub mod wires;
 
 use crate::report::Table;
@@ -239,6 +240,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "adaptive",
             title: "Online adaptive scheme selection vs static and oracle",
             run: adaptive::adaptive,
+        },
+        Experiment {
+            id: "generalize",
+            title: "Offline-trained predictor generalization vs static schemes",
+            run: training::generalize,
         },
     ]
 }

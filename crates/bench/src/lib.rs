@@ -22,6 +22,7 @@ pub mod profile;
 pub mod report;
 pub mod schemes;
 pub mod session;
+pub mod training;
 pub mod workloads;
 
 pub use session::{ActivityQuery, Session, SessionBuilder, TraceKey, TraceStore};

@@ -9,9 +9,9 @@
 //!
 //! | phase | what it covers | typical leaves |
 //! |---|---|---|
-//! | `trace_gen` | synthesizing workload traces | `bench.workload.trace`, `simcpu.*`, `bench.session.acquire` |
+//! | `trace_gen` | synthesizing workload traces | `bench.workload.trace`, `simcpu.*`, `bench.session.acquire`, `bustrain.corpus.*` |
 //! | `encode` | running encoder FSMs over traces | `buscoding.codec.evaluate*`, `busadapt.*`, `busfault.*` |
-//! | `accumulate` | folding states into τ/κ activity | `buscoding.codec.accumulate` |
+//! | `accumulate` | folding states into τ/κ activity | `buscoding.codec.accumulate`, `bustrain.train*` |
 //! | `pricing` | wire/crossover energy models | `wiremodel.*`, `hwmodel.*` |
 //! | `emit` | rendering tables, CSVs and plots | `bench.report.*` |
 //!
@@ -36,10 +36,11 @@ pub fn phase_of(path: &str) -> Option<&'static str> {
     if leaf.starts_with("bench.workload.")
         || leaf.starts_with("simcpu.")
         || leaf.starts_with("bustrace.")
+        || leaf.starts_with("bustrain.corpus")
         || leaf == "bench.session.acquire"
     {
         Some("trace_gen")
-    } else if leaf == "buscoding.codec.accumulate" {
+    } else if leaf == "buscoding.codec.accumulate" || leaf.starts_with("bustrain.train") {
         Some("accumulate")
     } else if leaf.starts_with("buscoding.")
         || leaf.starts_with("busadapt.")
@@ -166,6 +167,19 @@ mod tests {
         assert_eq!(phase_of("fig16/buscoding.codec.evaluate_blocks"), Some("encode"));
         assert_eq!(
             phase_of("fig16/buscoding.codec.evaluate_blocks/buscoding.codec.accumulate"),
+            Some("accumulate")
+        );
+        assert_eq!(
+            phase_of("generalize/bustrain.train/bustrain.corpus.trace"),
+            Some("trace_gen")
+        );
+        assert_eq!(phase_of("generalize/bustrain.train"), Some("accumulate"));
+        assert_eq!(
+            phase_of("generalize/bustrain.train/bustrain.train.accumulate"),
+            Some("accumulate")
+        );
+        assert_eq!(
+            phase_of("generalize/bustrain.train/bustrain.train.fit"),
             Some("accumulate")
         );
         assert_eq!(phase_of("x/busadapt.controller.boundary"), Some("encode"));

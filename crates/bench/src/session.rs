@@ -534,24 +534,6 @@ impl Session {
             .is_some()
     }
 
-    /// The memoized coded activity at `min(values, cap)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `activity(&ActivityQuery::new(scheme, workload).cap(cap))`"
-    )]
-    pub fn activity_capped(&self, scheme: &str, workload: Workload, cap: usize) -> Activity {
-        self.activity(&ActivityQuery::new(scheme, workload).cap(cap))
-    }
-
-    /// The memoized coded activity at an explicit length.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `activity(&ActivityQuery::new(scheme, workload).len(values))`"
-    )]
-    pub fn activity_with_len(&self, scheme: &str, workload: Workload, values: usize) -> Activity {
-        self.activity(&ActivityQuery::new(scheme, workload).len(values))
-    }
-
     /// Distinct coded activities resident in the activity store.
     pub fn activity_store_len(&self) -> usize {
         self.activities.len()
@@ -735,21 +717,6 @@ mod tests {
         let a = s.activity(&ActivityQuery::new("identity", w).cap(500));
         let b = s.activity(&ActivityQuery::new("identity", w).cap(500).seed(9));
         assert_ne!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_query_form() {
-        let s = Session::builder().values(2_000).seed(4).build();
-        let w = Workload::Random;
-        assert_eq!(
-            s.activity_capped("window(8)", w, 500),
-            s.activity(&ActivityQuery::new("window(8)", w).cap(500))
-        );
-        assert_eq!(
-            s.activity_with_len("window(8)", w, 700),
-            s.activity(&ActivityQuery::new("window(8)", w).len(700))
-        );
     }
 
     #[test]

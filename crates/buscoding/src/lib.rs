@@ -71,4 +71,4 @@ pub use codec::{
 pub use energy::{Activity, CostModel, WireActivity};
 pub use identity::IdentityCodec;
 pub use metrics::{normalized_energy_remaining, percent_energy_removed, SchemeReport};
-pub use registry::{scheme_by_name, UnknownScheme, SCHEME_PATTERNS};
+pub use registry::{scheme_by_name, scheme_candidates, UnknownScheme, SCHEME_PATTERNS};

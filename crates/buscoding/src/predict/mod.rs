@@ -22,6 +22,7 @@
 mod context;
 mod fcm;
 mod stride;
+pub mod trained;
 mod window;
 
 pub use context::{
@@ -30,6 +31,7 @@ pub use context::{
 };
 pub use fcm::{fcm_codec, FcmConfig, FcmPredictor};
 pub use stride::{stride_codec, StrideConfig, StridePredictor};
+pub use trained::{trained_codec, ArtifactError, SignatureTable, TrainedPredictor, TrainedTables};
 pub use window::{window_codec, WindowConfig, WindowPredictor};
 
 use bustrace::{Width, Word};

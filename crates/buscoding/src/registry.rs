@@ -27,21 +27,27 @@ use std::fmt;
 
 use bustrace::Width;
 
+use std::sync::Arc;
+
 use crate::codec::Transcoder;
 use crate::energy::CostModel;
 use crate::identity::IdentityCodec;
 use crate::inversion::{InversionDecoder, InversionEncoder, PatternSet};
+use crate::predict::trained::{
+    artifact_dir, available_artifacts, load_named_artifact, trained_codec, ArtifactError,
+};
 use crate::predict::{
     context_transition_codec, context_value_codec, fcm_codec, stride_codec, window_codec,
     ContextConfig, FcmConfig, StrideConfig, WindowConfig,
 };
 use crate::workzone::{WorkZoneDecoder, WorkZoneEncoder};
 
-/// Error returned when a scheme name cannot be parsed or names an
-/// unknown family.
+/// Error returned when a scheme name cannot be parsed, names an unknown
+/// family, or names a `trained:` artifact that cannot be loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownScheme {
     name: String,
+    artifact: Option<ArtifactError>,
 }
 
 impl UnknownScheme {
@@ -49,16 +55,27 @@ impl UnknownScheme {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// For `trained:<artifact>` names, why the artifact failed to load
+    /// (`None` for ordinary unknown schemes). Front ends use this to
+    /// distinguish "no such scheme grammar" from "scheme grammar fine,
+    /// artifact missing or corrupt".
+    pub fn artifact_error(&self) -> Option<&ArtifactError> {
+        self.artifact.as_ref()
+    }
 }
 
 impl fmt::Display for UnknownScheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown coding scheme {:?} (expected one of: {})",
-            self.name,
-            SCHEME_PATTERNS.join(", ")
-        )
+        match &self.artifact {
+            Some(err) => write!(f, "scheme {:?}: {err}", self.name),
+            None => write!(
+                f,
+                "unknown coding scheme {:?} (expected one of: {})",
+                self.name,
+                scheme_candidates().join(", ")
+            ),
+        }
     }
 }
 
@@ -75,7 +92,21 @@ pub const SCHEME_PATTERNS: &[&str] = &[
     "context-transition(<table>+<shift> d<divide>)",
     "workzone(<zones>)",
     "fcm(<order> 2^<table_bits>)",
+    "trained:<artifact>",
 ];
+
+/// Every name [`scheme_by_name`] would currently accept: the static
+/// [`SCHEME_PATTERNS`] grammar plus a concrete `trained:<name>` entry
+/// per artifact present in the artifact directory. When the directory
+/// is absent (nothing was ever trained) only the static patterns are
+/// listed, so error messages never advertise schemes that cannot load.
+pub fn scheme_candidates() -> Vec<String> {
+    let mut candidates: Vec<String> = SCHEME_PATTERNS.iter().map(|s| s.to_string()).collect();
+    for name in available_artifacts(&artifact_dir()) {
+        candidates.push(format!("trained:{name}"));
+    }
+    candidates
+}
 
 /// Splits `name` into a family and the text between its parentheses;
 /// a name without parentheses yields an empty argument string.
@@ -127,7 +158,33 @@ fn parse_inversion_args(args: &str) -> Option<(u32, f64)> {
 pub fn scheme_by_name(name: &str, width: Width) -> Result<Transcoder, UnknownScheme> {
     let unknown = || UnknownScheme {
         name: name.to_string(),
+        artifact: None,
     };
+    // `trained:` names carry no parenthesized arguments, so they are
+    // resolved before the family grammar: load the named artifact from
+    // the artifact directory and deploy it.
+    if let Some(artifact) = name.strip_prefix("trained:") {
+        let load = load_named_artifact(&artifact_dir(), artifact).and_then(|tables| {
+            if tables.width != width {
+                Err(ArtifactError::Malformed(format!(
+                    "artifact {artifact:?} was trained at {} but the bus is {width}",
+                    tables.width
+                )))
+            } else {
+                Ok(tables)
+            }
+        });
+        return match load {
+            Ok(tables) => {
+                let (e, d) = trained_codec(Arc::new(tables), CostModel::default());
+                Ok(Transcoder::new(name, e, d))
+            }
+            Err(err) => Err(UnknownScheme {
+                name: name.to_string(),
+                artifact: Some(err),
+            }),
+        };
+    }
     let (family, args) = family_and_args(name).ok_or_else(unknown)?;
     let pair = match family {
         "identity" if args.is_empty() => {
@@ -256,6 +313,73 @@ mod tests {
             assert_eq!(err.name(), bad);
             assert!(err.to_string().contains("window(<entries>)"), "{err}");
         }
+    }
+
+    /// The one test in this crate that touches the process-global
+    /// artifact directory — every scenario runs sequentially inside it
+    /// so parallel tests can never observe a half-configured registry.
+    #[test]
+    fn trained_schemes_resolve_through_the_registry() {
+        use crate::predict::trained::{
+            save_artifact, set_artifact_dir, ArtifactError, SignatureTable, TrainedTables,
+        };
+
+        let dir = std::env::temp_dir().join(format!("trained-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        set_artifact_dir(&dir);
+
+        // Directory absent: candidates stay static, trained names miss.
+        assert_eq!(
+            scheme_candidates().len(),
+            SCHEME_PATTERNS.len(),
+            "no artifacts should be advertised before training"
+        );
+        let err = scheme_by_name("trained:demo", Width::W32).unwrap_err();
+        assert_eq!(err.name(), "trained:demo");
+        assert!(matches!(
+            err.artifact_error(),
+            Some(ArtifactError::Missing { .. })
+        ));
+        assert!(err.to_string().contains("not found"), "{err}");
+        // Plain unknown schemes still have no artifact error.
+        assert_eq!(
+            scheme_by_name("windoww(8)", Width::W32)
+                .unwrap_err()
+                .artifact_error(),
+            None
+        );
+
+        // Train (well, hand-write) an artifact and resolve it.
+        let tables = TrainedTables {
+            name: "demo".into(),
+            width: Width::W32,
+            trained_values: 100,
+            trained_traces: 1,
+            codebook: vec![1, 2, 3],
+            signatures: vec![SignatureTable {
+                order: 1,
+                entries: Vec::new(),
+            }],
+            strides: vec![4],
+        };
+        save_artifact(&tables, &dir).unwrap();
+        let mut pair = scheme_by_name("trained:demo", Width::W32).unwrap();
+        assert_eq!(pair.name(), "trained:demo");
+        let trace = mixed_trace(300);
+        let (enc, dec) = pair.split_mut();
+        verify_roundtrip(enc, dec, &trace).unwrap();
+
+        // The candidate list now advertises the concrete artifact.
+        assert!(scheme_candidates().contains(&"trained:demo".to_string()));
+
+        // Width mismatch is a typed artifact error, not a panic.
+        let err = scheme_by_name("trained:demo", Width::new(16).unwrap()).unwrap_err();
+        assert!(matches!(
+            err.artifact_error(),
+            Some(ArtifactError::Malformed(_))
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
